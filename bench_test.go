@@ -1,0 +1,256 @@
+package orion
+
+// Benchmarks regenerating the paper's evaluation (one per figure; see the
+// experiment index in DESIGN.md) plus the design-choice ablations. Each
+// figure bench runs the corresponding simulation and reports the headline
+// quantities as custom metrics — cycles of latency ("lat-cycles"), watts
+// of network power ("power-W") — so `go test -bench` output reads like the
+// paper's axes. EXPERIMENTS.md records the full-protocol numbers produced
+// by cmd/orion-exp.
+
+import "testing"
+
+// benchSamples keeps per-iteration cost moderate; shapes are stable from a
+// few thousand packets (the full protocol uses 10,000 — see cmd/orion-exp).
+const benchSamples = 2000
+
+func benchRun(b *testing.B, cfg Config) *Result {
+	b.Helper()
+	cfg.Sim.SamplePackets = benchSamples
+	var last *Result
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.AvgLatency, "lat-cycles")
+	b.ReportMetric(last.TotalPowerW, "power-W")
+	return last
+}
+
+// --- Section 3.3 walkthrough ---
+
+// BenchmarkWalkthroughFlitEnergy evaluates the per-flit energy composition
+// E_flit = E_wrt + E_arb + E_read + E_xb + E_link for the walkthrough
+// router (5 ports, 4-flit buffers, 32-bit flits, 5×5 crossbar, 4:1
+// arbiters).
+func BenchmarkWalkthroughFlitEnergy(b *testing.B) {
+	var rep *EnergyReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = Walkthrough()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.FlitEnergyJ*1e12, "Eflit-pJ")
+}
+
+// --- Figure 5: on-chip wormhole vs virtual-channel (latency 5a, power 5b) ---
+
+func benchFig5(b *testing.B, r RouterConfig, rate float64) {
+	benchRun(b, OnChip4x4(r, rate))
+}
+
+func BenchmarkFig5WH64(b *testing.B)  { benchFig5(b, WH64(), 0.10) }
+func BenchmarkFig5VC16(b *testing.B)  { benchFig5(b, VC16(), 0.10) }
+func BenchmarkFig5VC64(b *testing.B)  { benchFig5(b, VC64(), 0.10) }
+func BenchmarkFig5VC128(b *testing.B) { benchFig5(b, VC128(), 0.10) }
+
+// BenchmarkFig5cBreakdown reports VC64's component power split (buffers
+// and crossbar dominant, arbiter under 1%, links under ~16%).
+func BenchmarkFig5cBreakdown(b *testing.B) {
+	res := benchRun(b, OnChip4x4(VC64(), 0.10))
+	t := res.TotalPowerW
+	b.ReportMetric(100*res.Breakdown.BufferW/t, "buffer-%")
+	b.ReportMetric(100*res.Breakdown.CrossbarW/t, "xbar-%")
+	b.ReportMetric(100*res.Breakdown.ArbiterW/t, "arbiter-%")
+	b.ReportMetric(100*res.Breakdown.LinkW/t, "link-%")
+}
+
+// --- Figure 6: power spatial distribution ---
+
+// BenchmarkFig6aUniformMap reports the max/min per-node power ratio under
+// uniform random traffic (flat map: ratio near 1).
+func BenchmarkFig6aUniformMap(b *testing.B) {
+	cfg := OnChip4x4(VC16(), 0.2/16)
+	res := benchRun(b, cfg)
+	lo, hi := res.NodePowerW[0], res.NodePowerW[0]
+	for _, w := range res.NodePowerW {
+		if w < lo {
+			lo = w
+		}
+		if w > hi {
+			hi = w
+		}
+	}
+	b.ReportMetric(hi/lo, "max/min-node-power")
+}
+
+// BenchmarkFig6bBroadcastMap reports the source node's share of network
+// power under broadcast from (1,2) (hot source, decay with distance).
+func BenchmarkFig6bBroadcastMap(b *testing.B) {
+	cfg := OnChip4x4(VC16(), 0.2)
+	cfg.Traffic.Pattern = BroadcastFrom(BroadcastNode12)
+	res := benchRun(b, cfg)
+	b.ReportMetric(res.NodePowerW[BroadcastNode12]/res.TotalPowerW*16, "source-vs-avg")
+}
+
+// --- Figure 7: chip-to-chip XB vs CB ---
+
+func benchFig7(b *testing.B, r RouterConfig, rate float64, broadcast bool) *Result {
+	cfg := ChipToChip4x4(r, rate)
+	if broadcast {
+		cfg.Traffic.Pattern = BroadcastFrom(BroadcastNode12)
+	}
+	return benchRun(b, cfg)
+}
+
+// Figures 7(a)/7(b): uniform random latency and power.
+func BenchmarkFig7aXB(b *testing.B) { benchFig7(b, XB(), 0.08, false) }
+func BenchmarkFig7aCB(b *testing.B) { benchFig7(b, CB(), 0.08, false) }
+
+// Figures 7(d)/7(e): broadcast latency and power.
+func BenchmarkFig7dXB(b *testing.B) { benchFig7(b, XB(), 0.10, true) }
+func BenchmarkFig7dCB(b *testing.B) { benchFig7(b, CB(), 0.10, true) }
+
+// BenchmarkFig7cXBBreakdown reports the XB component split (links
+// dominate chip-to-chip networks).
+func BenchmarkFig7cXBBreakdown(b *testing.B) {
+	res := benchFig7(b, XB(), 0.06, false)
+	b.ReportMetric(100*res.Breakdown.LinkW/res.TotalPowerW, "link-%")
+	b.ReportMetric(100*res.Breakdown.BufferW/res.TotalPowerW, "buffer-%")
+}
+
+// BenchmarkFig7fCBBreakdown reports the CB component split (the central
+// buffer dominates the router's share).
+func BenchmarkFig7fCBBreakdown(b *testing.B) {
+	res := benchFig7(b, CB(), 0.06, false)
+	b.ReportMetric(100*res.Breakdown.LinkW/res.TotalPowerW, "link-%")
+	b.ReportMetric(100*res.Breakdown.CentralBufferW/res.TotalPowerW, "central-buffer-%")
+	routerOnly := res.TotalPowerW - res.Breakdown.LinkW
+	b.ReportMetric(100*res.Breakdown.CentralBufferW/routerOnly, "cb-of-router-%")
+}
+
+// --- Ablations (design choices called out in DESIGN.md) ---
+
+func benchAblation(b *testing.B, mutate func(*Config)) {
+	cfg := OnChip4x4(VC16(), 0.08)
+	mutate(&cfg)
+	benchRun(b, cfg)
+}
+
+// Arbiter power model: matrix vs round-robin vs queuing (Table 4).
+func BenchmarkAblationArbiterMatrix(b *testing.B) {
+	benchAblation(b, func(c *Config) { c.Sim.Arbiter = MatrixArbiter })
+}
+func BenchmarkAblationArbiterRoundRobin(b *testing.B) {
+	benchAblation(b, func(c *Config) { c.Sim.Arbiter = RoundRobinArbiter })
+}
+func BenchmarkAblationArbiterQueuing(b *testing.B) {
+	benchAblation(b, func(c *Config) { c.Sim.Arbiter = QueuingArbiter })
+}
+
+// Crossbar implementation: crosspoint matrix vs multiplexer tree (Table 3).
+func BenchmarkAblationCrossbarMatrix(b *testing.B) {
+	benchAblation(b, func(c *Config) { c.Sim.MuxTreeCrossbar = false })
+}
+func BenchmarkAblationCrossbarMuxTree(b *testing.B) {
+	benchAblation(b, func(c *Config) { c.Sim.MuxTreeCrossbar = true })
+}
+
+// Switching activity: tracked per-bit Hamming distances (the paper's
+// approach) vs the conventional fixed α = 0.5.
+func BenchmarkAblationActivityTracked(b *testing.B) {
+	benchAblation(b, func(c *Config) { c.Sim.FixedActivity = false })
+}
+func BenchmarkAblationActivityFixed(b *testing.B) {
+	benchAblation(b, func(c *Config) { c.Sim.FixedActivity = true })
+}
+
+// Pipeline speculation (Peh & Dally [15]): a speculative VC router bids
+// for the switch concurrently with VC allocation, cutting zero-load
+// latency from 3 to 2 stages per hop and raising the saturation knee.
+func BenchmarkAblationPipelineNonSpeculative(b *testing.B) {
+	benchAblation(b, func(c *Config) { c.Router.Speculative = false })
+}
+func BenchmarkAblationPipelineSpeculative(b *testing.B) {
+	benchAblation(b, func(c *Config) { c.Router.Speculative = true })
+}
+
+// Torus deadlock avoidance: bubble flow control vs dateline VC classes.
+// Dateline halves VC flexibility and saturates far earlier.
+func BenchmarkAblationDeadlockBubble(b *testing.B) {
+	benchAblation(b, func(c *Config) { c.Sim.Deadlock = DeadlockBubble })
+}
+func BenchmarkAblationDeadlockDateline(b *testing.B) {
+	benchAblation(b, func(c *Config) { c.Sim.Deadlock = DeadlockDateline })
+}
+
+// Routing tie-break: always-positive half-ring ties load the + rings with
+// 3× the − traffic; source-parity balancing raises every configuration's
+// saturation (VC16's knee reaches the paper's reported 0.15).
+func BenchmarkAblationTiesPositive(b *testing.B) {
+	cfg := OnChip4x4(VC16(), 0.14)
+	benchRun(b, cfg)
+}
+func BenchmarkAblationTiesBalanced(b *testing.B) {
+	cfg := OnChip4x4(VC16(), 0.14)
+	cfg.BalancedTieRouting = true
+	benchRun(b, cfg)
+}
+
+// Link DVS (the paper's cited follow-on [17]): history-based voltage
+// scaling trades link power for latency at low load.
+func BenchmarkAblationLinkDVSOff(b *testing.B) {
+	cfg := OnChip4x4(VC16(), 0.02)
+	benchRun(b, cfg)
+}
+func BenchmarkAblationLinkDVSOn(b *testing.B) {
+	cfg := OnChip4x4(VC16(), 0.02)
+	cfg.Link.DVS = &DVSPolicy{}
+	res := benchRun(b, cfg)
+	b.ReportMetric(res.Breakdown.LinkW, "link-W")
+}
+
+// Leakage modelling (Orion 2.0 direction): static power per component.
+func BenchmarkAblationLeakage(b *testing.B) {
+	cfg := OnChip4x4(VC16(), 0.08)
+	cfg.Sim.IncludeLeakage = true
+	res := benchRun(b, cfg)
+	b.ReportMetric(res.StaticPowerW, "static-W")
+}
+
+// --- Simulator performance ---
+
+// BenchmarkSimulatorSpeed measures simulated cycles per second for the
+// paper's 59-module 4×4 VC torus (the paper reports ~1000 cycles/s on a
+// 750 MHz Pentium III).
+func BenchmarkSimulatorSpeed(b *testing.B) {
+	cfg := OnChip4x4(VC16(), 0.10)
+	cfg.Sim.SamplePackets = benchSamples
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.TotalCycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+}
+
+// --- Component model micro-benchmarks ---
+
+// BenchmarkComponentEnergies measures the cost of deriving a full energy
+// report from the capacitance equations.
+func BenchmarkComponentEnergies(b *testing.B) {
+	cfg := OnChip4x4(VC64(), 0.1)
+	for i := 0; i < b.N; i++ {
+		if _, err := ComponentEnergies(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

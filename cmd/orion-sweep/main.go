@@ -1,0 +1,180 @@
+// Command orion-sweep sweeps injection rates for one router configuration
+// and prints the latency/power/throughput curve plus the saturation
+// throughput (the paper's definition: the rate at which latency exceeds
+// twice the zero-load latency, Section 4.1). Rate points run concurrently.
+//
+// Examples:
+//
+//	# Latency/power curve for the paper's VC64 on-chip router:
+//	orion-sweep -preset vc64
+//
+//	# Custom sweep:
+//	orion-sweep -router wormhole -depth 64 -flits 256 \
+//	            -rates 0.02,0.06,0.10,0.14,0.18
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"orion"
+)
+
+var (
+	preset  = flag.String("preset", "", "paper configuration: wh64, vc16, vc64, vc128, xb, cb")
+	ratesIn = flag.String("rates", "0.02,0.04,0.06,0.08,0.10,0.12,0.14,0.16,0.18,0.20",
+		"comma-separated injection rates")
+	samples = flag.Int("samples", 5000, "sample packets per point")
+	seed    = flag.Int64("seed", 1, "workload seed")
+
+	routerKind = flag.String("router", "vc", "router kind when no preset: vc, wormhole, cb")
+	vcs        = flag.Int("vcs", 2, "virtual channels per port")
+	depth      = flag.Int("depth", 8, "buffer depth in flits")
+	flits      = flag.Int("flits", 256, "flit width in bits")
+	chip2chip  = flag.Bool("chip2chip", false, "chip-to-chip links (3 W each)")
+	csvOut     = flag.String("csv", "", "also write the curve to a CSV file for plotting")
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "orion-sweep: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func presetConfig(name string) (orion.Config, bool) {
+	switch name {
+	case "wh64":
+		return orion.OnChip4x4(orion.WH64(), 0), true
+	case "vc16":
+		return orion.OnChip4x4(orion.VC16(), 0), true
+	case "vc64":
+		return orion.OnChip4x4(orion.VC64(), 0), true
+	case "vc128":
+		return orion.OnChip4x4(orion.VC128(), 0), true
+	case "xb":
+		return orion.ChipToChip4x4(orion.XB(), 0), true
+	case "cb":
+		return orion.ChipToChip4x4(orion.CB(), 0), true
+	}
+	return orion.Config{}, false
+}
+
+func main() {
+	flag.Parse()
+
+	var cfg orion.Config
+	if *preset != "" {
+		var ok bool
+		cfg, ok = presetConfig(strings.ToLower(*preset))
+		if !ok {
+			fail("unknown preset %q", *preset)
+		}
+	} else {
+		cfg = orion.Config{
+			Width: 4, Height: 4,
+			Router:  orion.RouterConfig{VCs: *vcs, BufferDepth: *depth, FlitBits: *flits},
+			Traffic: orion.TrafficConfig{Pattern: orion.Uniform(), PacketLength: 5},
+		}
+		switch *routerKind {
+		case "vc":
+			cfg.Router.Kind = orion.VirtualChannel
+		case "wormhole", "wh":
+			cfg.Router.Kind = orion.Wormhole
+		case "cb":
+			cfg.Router.Kind = orion.CentralBuffered
+			cfg.Router.CentralBuffer = orion.CentralBufferConfig{Banks: 4, Rows: 2560, ReadPorts: 2, WritePorts: 2}
+		default:
+			fail("unknown router kind %q", *routerKind)
+		}
+		if *chip2chip {
+			cfg.Link = orion.LinkConfig{ChipToChip: true, ConstantWatts: 3}
+			cfg.Tech = orion.TechConfig{FreqGHz: 1}
+		} else {
+			cfg.Link = orion.LinkConfig{LengthMm: 3}
+			cfg.Tech = orion.TechConfig{FreqGHz: 2}
+		}
+	}
+	cfg.Sim.SamplePackets = *samples
+	cfg.Traffic.Seed = *seed
+
+	var rates []float64
+	for _, tok := range strings.Split(*ratesIn, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			fail("bad rate %q: %v", tok, err)
+		}
+		rates = append(rates, r)
+	}
+
+	zl, err := orion.ZeroLoadLatency(cfg)
+	if err != nil {
+		fail("zero-load: %v", err)
+	}
+	fmt.Printf("zero-load latency: %.2f cycles\n", zl)
+
+	results, _ := orion.Sweep(cfg, rates)
+	fmt.Printf("%8s %12s %14s %12s\n", "rate", "latency", "throughput", "power(W)")
+	sat, satFound := 0.0, false
+	for i, res := range results {
+		lat := 0.0
+		if res == nil {
+			fmt.Printf("%8.3f %12s %14s %12s  (over-saturated: run aborted)\n", rates[i], "--", "--", "--")
+			lat = 1e18
+		} else {
+			fmt.Printf("%8.3f %12.2f %14.4f %12.4g\n",
+				rates[i], res.AvgLatency, res.AcceptedFlitsPerNodeCycle, res.TotalPowerW)
+			lat = res.AvgLatency
+		}
+		if lat > 2*zl && (!satFound || rates[i] < sat) {
+			sat, satFound = rates[i], true
+		}
+	}
+	if satFound {
+		fmt.Printf("saturation throughput: %.3f packets/cycle/node (latency > 2x zero-load)\n", sat)
+	} else {
+		fmt.Println("saturation: not reached within the swept rates")
+	}
+
+	if *csvOut != "" {
+		if err := writeCSV(*csvOut, rates, results); err != nil {
+			fail("writing CSV: %v", err)
+		}
+		fmt.Printf("curve written to %s\n", *csvOut)
+	}
+}
+
+// writeCSV emits one row per rate point with the quantities of the paper's
+// figure axes plus the component power split.
+func writeCSV(path string, rates []float64, results []*orion.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	defer w.Flush()
+	header := []string{"rate", "latency_cycles", "throughput_flits_node_cycle", "power_w",
+		"buffer_w", "crossbar_w", "arbiter_w", "link_w", "central_buffer_w"}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	ff := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	for i, res := range results {
+		row := []string{ff(rates[i])}
+		if res == nil {
+			row = append(row, "", "", "", "", "", "", "", "")
+		} else {
+			b := res.Breakdown
+			row = append(row, ff(res.AvgLatency), ff(res.AcceptedFlitsPerNodeCycle), ff(res.TotalPowerW),
+				ff(b.BufferW), ff(b.CrossbarW), ff(b.ArbiterW), ff(b.LinkW), ff(b.CentralBufferW))
+		}
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

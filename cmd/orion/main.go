@@ -1,0 +1,238 @@
+// Command orion runs one interconnection-network power-performance
+// simulation and prints latency, throughput, total power, the per-component
+// power breakdown, and the per-node power map.
+//
+// Examples:
+//
+//	# The paper's VC64 on-chip configuration at 10% injection:
+//	orion -router vc -vcs 8 -depth 8 -flits 256 -rate 0.10
+//
+//	# Wormhole router with 64-flit buffers (WH64):
+//	orion -router wormhole -depth 64 -flits 256 -rate 0.08
+//
+//	# Chip-to-chip central-buffered router (Section 4.4):
+//	orion -router cb -depth 64 -flits 32 -freq 1 -chip2chip -rate 0.06 \
+//	      -cb-banks 4 -cb-rows 2560
+//
+//	# Broadcast workload from node (1,2):
+//	orion -router vc -vcs 2 -depth 8 -flits 256 -pattern broadcast \
+//	      -source 9 -rate 0.2
+//
+//	# Replay a communication trace:
+//	orion -router vc -vcs 2 -depth 8 -flits 64 -trace workload.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"orion"
+)
+
+var (
+	width  = flag.Int("width", 4, "network width")
+	zdim   = flag.Int("z", 0, "third dimension radix (k-ary 3-cube; torus only)")
+	height = flag.Int("height", 4, "network height")
+	mesh   = flag.Bool("mesh", false, "mesh instead of torus")
+
+	routerKind = flag.String("router", "vc", "router kind: vc, wormhole, cb")
+	vcs        = flag.Int("vcs", 2, "virtual channels per port (vc router)")
+	depth      = flag.Int("depth", 8, "input buffer depth in flits (per VC for vc routers)")
+	flits      = flag.Int("flits", 256, "flit width in bits")
+	cbBanks    = flag.Int("cb-banks", 4, "central buffer banks (cb router)")
+	cbRows     = flag.Int("cb-rows", 2560, "central buffer rows per bank (cb router)")
+	cbRead     = flag.Int("cb-read", 2, "central buffer read ports (cb router)")
+	cbWrite    = flag.Int("cb-write", 2, "central buffer write ports (cb router)")
+
+	chip2chip = flag.Bool("chip2chip", false, "chip-to-chip links with constant power")
+	linkMm    = flag.Float64("link-mm", 3, "on-chip link length in mm")
+	linkWatts = flag.Float64("link-watts", 3, "chip-to-chip link power in W")
+
+	freqGHz = flag.Float64("freq", 2, "clock frequency in GHz")
+	vdd     = flag.Float64("vdd", 0, "supply voltage override in V (0 = process default)")
+	feature = flag.Float64("feature", 0, "feature size in µm (0 = 0.1)")
+
+	pattern  = flag.String("pattern", "uniform", "traffic: uniform, broadcast, transpose, bitcomp, tornado, hotspot, neighbor")
+	source   = flag.Int("source", 0, "broadcast source / hotspot node")
+	fraction = flag.Float64("fraction", 0.2, "hotspot traffic fraction")
+	rate     = flag.Float64("rate", 0.1, "injection rate in packets/cycle/node")
+	pktLen   = flag.Int("packet", 5, "packet length in flits")
+	seed     = flag.Int64("seed", 1, "workload seed")
+	tracePth = flag.String("trace", "", "replay a trace file (cycle src dst per line) instead of a pattern")
+
+	samples = flag.Int("samples", 10000, "measured sample packets")
+	warmup  = flag.Int64("warmup", 1000, "warm-up cycles")
+
+	showMap  = flag.Bool("map", true, "print the per-node power map")
+	deadlock = flag.String("deadlock", "bubble", "torus deadlock avoidance: bubble, dateline, none")
+
+	configPath = flag.String("config", "", "load the full configuration from a JSON file (other flags ignored)")
+	dumpConfig = flag.Bool("dump-config", false, "print the effective configuration as JSON and exit")
+	profileWin = flag.Int64("profile", 0, "sample power every N cycles and print the power-vs-time trace")
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "orion: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func buildConfig() orion.Config {
+	cfg := orion.Config{
+		Width: *width, Height: *height, Depth: *zdim, Mesh: *mesh,
+		Router: orion.RouterConfig{
+			VCs:         *vcs,
+			BufferDepth: *depth,
+			FlitBits:    *flits,
+		},
+		Tech: orion.TechConfig{FreqGHz: *freqGHz, Vdd: *vdd, FeatureUm: *feature},
+		Traffic: orion.TrafficConfig{
+			Rate:         *rate,
+			PacketLength: *pktLen,
+			Seed:         *seed,
+		},
+		Sim: orion.SimConfig{SamplePackets: *samples, WarmupCycles: *warmup},
+	}
+
+	switch *routerKind {
+	case "vc", "virtual-channel":
+		cfg.Router.Kind = orion.VirtualChannel
+	case "wormhole", "wh":
+		cfg.Router.Kind = orion.Wormhole
+	case "cb", "central-buffered":
+		cfg.Router.Kind = orion.CentralBuffered
+		cfg.Router.CentralBuffer = orion.CentralBufferConfig{
+			Banks: *cbBanks, Rows: *cbRows, ReadPorts: *cbRead, WritePorts: *cbWrite,
+		}
+	default:
+		fail("unknown router kind %q", *routerKind)
+	}
+
+	if *chip2chip {
+		cfg.Link = orion.LinkConfig{ChipToChip: true, ConstantWatts: *linkWatts}
+	} else {
+		cfg.Link = orion.LinkConfig{LengthMm: *linkMm}
+	}
+
+	switch *pattern {
+	case "uniform":
+		cfg.Traffic.Pattern = orion.Uniform()
+	case "broadcast":
+		cfg.Traffic.Pattern = orion.BroadcastFrom(*source)
+	case "transpose":
+		cfg.Traffic.Pattern = orion.Pattern{Kind: orion.PatternTranspose}
+	case "bitcomp":
+		cfg.Traffic.Pattern = orion.Pattern{Kind: orion.PatternBitComplement}
+	case "tornado":
+		cfg.Traffic.Pattern = orion.Pattern{Kind: orion.PatternTornado}
+	case "hotspot":
+		cfg.Traffic.Pattern = orion.Pattern{Kind: orion.PatternHotspot, Source: *source, Fraction: *fraction}
+	case "neighbor":
+		cfg.Traffic.Pattern = orion.Pattern{Kind: orion.PatternNeighbor}
+	default:
+		fail("unknown pattern %q", *pattern)
+	}
+
+	switch *deadlock {
+	case "bubble":
+		cfg.Sim.Deadlock = orion.DeadlockBubble
+	case "dateline":
+		cfg.Sim.Deadlock = orion.DeadlockDateline
+	case "none":
+		cfg.Sim.Deadlock = orion.DeadlockNone
+	default:
+		fail("unknown deadlock mode %q", *deadlock)
+	}
+	return cfg
+}
+
+func main() {
+	flag.Parse()
+	var cfg orion.Config
+	if *configPath != "" {
+		data, err := os.ReadFile(*configPath)
+		if err != nil {
+			fail("%v", err)
+		}
+		cfg, err = orion.LoadConfigJSON(data)
+		if err != nil {
+			fail("%v", err)
+		}
+	} else {
+		cfg = buildConfig()
+	}
+	if *profileWin > 0 {
+		cfg.Sim.ProfileWindowCycles = *profileWin
+	}
+	if *dumpConfig {
+		data, err := orion.ConfigJSON(cfg)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Println(string(data))
+		return
+	}
+
+	var (
+		res *orion.Result
+		err error
+	)
+	if *tracePth != "" {
+		f, ferr := os.Open(*tracePth)
+		if ferr != nil {
+			fail("%v", ferr)
+		}
+		defer f.Close()
+		res, err = orion.RunTrace(cfg, f)
+	} else {
+		res, err = orion.Run(cfg)
+	}
+	if err != nil {
+		fail("%v", err)
+	}
+
+	shape := fmt.Sprintf("%dx%d", cfg.Width, cfg.Height)
+	if cfg.Depth > 1 {
+		shape = fmt.Sprintf("%sx%d", shape, cfg.Depth)
+	}
+	fmt.Printf("network:        %s %s, %s router, %d-bit flits\n",
+		shape, topoName(cfg.Mesh), cfg.Router.Kind, cfg.Router.FlitBits)
+	fmt.Printf("sample:         %d packets over %d measured cycles (%d total)\n",
+		res.SamplePackets, res.MeasuredCycles, res.TotalCycles)
+	fmt.Printf("latency:        avg %.2f cycles (min %.0f, max %.0f)\n",
+		res.AvgLatency, res.MinLatency, res.MaxLatency)
+	fmt.Printf("throughput:     %.4f flits/node/cycle (%.4f packets/node/cycle)\n",
+		res.AcceptedFlitsPerNodeCycle, res.AcceptedPacketsPerNodeCycle)
+	fmt.Printf("energy:         %.4g J over the measurement window\n", res.EnergyJ)
+	fmt.Printf("total power:    %.4g W\n", res.TotalPowerW)
+	b := res.Breakdown
+	fmt.Printf("breakdown:      buffer %.4g W | crossbar %.4g W | arbiter %.4g W | link %.4g W | central buffer %.4g W\n",
+		b.BufferW, b.CrossbarW, b.ArbiterW, b.LinkW, b.CentralBufferW)
+	if res.StaticPowerW > 0 {
+		fmt.Printf("leakage:        %.4g W static (included in totals)\n", res.StaticPowerW)
+	}
+	ev := res.Events
+	fmt.Printf("events:         %d buf writes, %d buf reads, %d arbitrations, %d VC allocs, %d xbar traversals, %d link traversals, %d/%d CB writes/reads\n",
+		ev.BufferWrites, ev.BufferReads, ev.Arbitrations, ev.VCAllocations,
+		ev.CrossbarTraversals, ev.LinkTraversals, ev.CentralBufferWrites, ev.CentralBufferReads)
+	if *showMap {
+		m, err := orion.HeatmapString(res, cfg.Width, cfg.Height)
+		if err == nil {
+			fmt.Println("per-node power (W), (0,0) bottom-left:")
+			fmt.Print(m)
+		}
+	}
+	if len(res.PowerProfileW) > 0 {
+		fmt.Printf("power profile (W per %d-cycle window):\n", *profileWin)
+		for i, w := range res.PowerProfileW {
+			fmt.Printf("  %8d  %.4g\n", int64(i)*(*profileWin), w)
+		}
+	}
+}
+
+func topoName(mesh bool) string {
+	if mesh {
+		return "mesh"
+	}
+	return "torus"
+}

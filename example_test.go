@@ -1,0 +1,136 @@
+package orion_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"orion"
+)
+
+// Example runs the paper's quickstart scenario: a 4×4 on-chip torus with a
+// 2-VC router under uniform random traffic, reporting both performance and
+// power from one simulation.
+func Example() {
+	cfg := orion.Config{
+		Width: 4, Height: 4,
+		Router:  orion.RouterConfig{Kind: orion.VirtualChannel, VCs: 2, BufferDepth: 8, FlitBits: 256},
+		Link:    orion.LinkConfig{LengthMm: 3},
+		Tech:    orion.TechConfig{FreqGHz: 2},
+		Traffic: orion.TrafficConfig{Pattern: orion.Uniform(), Rate: 0.10, PacketLength: 5},
+		Sim:     orion.SimConfig{SamplePackets: 500},
+	}
+	res, err := orion.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measured %d packets; latency and power are reported together: %v\n",
+		res.SamplePackets, res.AvgLatency > 0 && res.TotalPowerW > 0)
+	// Output:
+	// measured 500 packets; latency and power are reported together: true
+}
+
+// ExampleComponentEnergies evaluates the power models standalone — the
+// paper's released-models use case — for the Section 3.3 walkthrough
+// router, and verifies the E_flit decomposition.
+func ExampleComponentEnergies() {
+	cfg := orion.Config{
+		Width: 4, Height: 4,
+		Router:  orion.RouterConfig{Kind: orion.Wormhole, BufferDepth: 4, FlitBits: 32},
+		Link:    orion.LinkConfig{LengthMm: 3},
+		Traffic: orion.TrafficConfig{Pattern: orion.Uniform(), Rate: 0.1, PacketLength: 5},
+	}
+	rep, err := orion.ComponentEnergies(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum := rep.BufferWriteAvgJ + rep.ArbiterGrantJ + rep.ArbiterRequestAvgJ + rep.CrossbarCtrlJ +
+		rep.BufferReadJ + rep.CrossbarTraversalAvgJ + rep.LinkTraversalAvgJ
+	fmt.Printf("E_flit equals the five walkthrough terms: %v\n", sum == rep.FlitEnergyJ)
+	// Output:
+	// E_flit equals the five walkthrough terms: true
+}
+
+// ExampleHeatmapString renders per-node power as the paper's Figure 6
+// grids, with node (0,0) at the bottom-left.
+func ExampleHeatmapString() {
+	res := &orion.Result{NodePowerW: []float64{
+		0.1, 0.2, 0.3, 0.4, // y = 0
+		0.5, 0.6, 0.7, 0.8, // y = 1
+		0.9, 1.0, 1.1, 1.2, // y = 2
+		1.3, 1.4, 1.5, 1.6, // y = 3
+	}}
+	m, err := orion.HeatmapString(res, 4, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(strings.ReplaceAll(m, "\t", " "))
+	// Output:
+	// 1.3 1.4 1.5 1.6
+	// 0.9 1 1.1 1.2
+	// 0.5 0.6 0.7 0.8
+	// 0.1 0.2 0.3 0.4
+}
+
+// ExampleSweep measures a latency/power curve, running the rate points
+// concurrently.
+func ExampleSweep() {
+	cfg := orion.OnChip4x4(orion.VC16(), 0)
+	cfg.Sim.SamplePackets = 300
+	results, err := orion.Sweep(cfg, []float64{0.02, 0.08})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("latency rises with load: %v\n", results[1].AvgLatency > results[0].AvgLatency)
+	fmt.Printf("power rises with load:   %v\n", results[1].TotalPowerW > results[0].TotalPowerW)
+	// Output:
+	// latency rises with load: true
+	// power rises with load:   true
+}
+
+// ExampleRunTrace replays an explicit communication trace ("cycle src
+// dst" per line) instead of a synthetic pattern.
+func ExampleRunTrace() {
+	trace := `
+# two packets during warm-up, two measured
+10 0 5
+11 3 12
+600 1 2
+601 8 4
+`
+	cfg := orion.Config{
+		Width: 4, Height: 4,
+		Router:  orion.RouterConfig{Kind: orion.VirtualChannel, VCs: 2, BufferDepth: 8, FlitBits: 64},
+		Link:    orion.LinkConfig{LengthMm: 3},
+		Traffic: orion.TrafficConfig{PacketLength: 5},
+		Sim:     orion.SimConfig{WarmupCycles: 500},
+	}
+	res, err := orion.RunTrace(cfg, strings.NewReader(trace))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measured %d traced packets\n", res.SamplePackets)
+	// Output:
+	// measured 2 traced packets
+}
+
+// ExampleBroadcastFrom reproduces the paper's broadcast workload: node
+// (1,2) sends to every other node in turn (Section 4.3).
+func ExampleBroadcastFrom() {
+	cfg := orion.OnChip4x4(orion.VC16(), 0.2)
+	cfg.Traffic.Pattern = orion.BroadcastFrom(orion.BroadcastNode12)
+	cfg.Sim.SamplePackets = 600
+	res, err := orion.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hottest := 0
+	for n, w := range res.NodePowerW {
+		if w > res.NodePowerW[hottest] {
+			hottest = n
+		}
+	}
+	fmt.Printf("hottest node is the broadcast source: %v\n", hottest == orion.BroadcastNode12)
+	// Output:
+	// hottest node is the broadcast source: true
+}

@@ -1,0 +1,61 @@
+// Link dynamic voltage scaling — the first architectural study Orion
+// enabled (Shang, Peh & Jha [17], cited in the paper's related work):
+// links monitor their utilisation over a history window and step voltage
+// and frequency down when lightly used.
+//
+// This example sweeps injection rates with and without link DVS and prints
+// the link-power saving against the latency cost at each point: large
+// savings at low load, converging to the plain network as load grows and
+// the controllers step back up.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"orion"
+)
+
+func main() {
+	rates := []float64{0.01, 0.02, 0.04, 0.06, 0.08, 0.10, 0.12}
+
+	base := orion.OnChip4x4(orion.VC16(), 0)
+	base.Sim.SamplePackets = 4000
+
+	dvs := base
+	dvs.Link.DVS = &orion.DVSPolicy{
+		// Full, 80 % and 60 % voltage with proportional bandwidth.
+		Levels: []orion.DVSLevel{
+			{VddScale: 1.0, SpeedScale: 1.0},
+			{VddScale: 0.8, SpeedScale: 0.75},
+			{VddScale: 0.6, SpeedScale: 0.5},
+		},
+		WindowCycles: 256,
+		UpUtil:       0.6,
+		DownUtil:     0.25,
+	}
+
+	plain, err := orion.Sweep(base, rates)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scaled, err := orion.Sweep(dvs, rates)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("on-chip 4x4 torus, VC16, uniform random; link DVS vs plain links")
+	fmt.Printf("%8s %16s %16s %14s %14s\n",
+		"rate", "link power (W)", "with DVS (W)", "saving", "latency cost")
+	for i := range rates {
+		p, s := plain[i], scaled[i]
+		if p == nil || s == nil {
+			fmt.Printf("%8.2f %16s %16s %14s %14s\n", rates[i], "--", "--", "--", "--")
+			continue
+		}
+		saving := 100 * (1 - s.Breakdown.LinkW/p.Breakdown.LinkW)
+		cost := s.AvgLatency - p.AvgLatency
+		fmt.Printf("%8.2f %16.3f %16.3f %13.1f%% %+11.1f cy\n",
+			rates[i], p.Breakdown.LinkW, s.Breakdown.LinkW, saving, cost)
+	}
+}

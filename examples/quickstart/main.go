@@ -1,0 +1,50 @@
+// Quickstart: simulate the paper's on-chip 4×4 torus with a 2-VC
+// virtual-channel router at 10% injection, and print performance and power.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"orion"
+)
+
+func main() {
+	cfg := orion.Config{
+		Width: 4, Height: 4, // the paper's 16-node torus (Figure 4)
+		Router: orion.RouterConfig{
+			Kind:        orion.VirtualChannel,
+			VCs:         2,
+			BufferDepth: 8,   // flits per VC
+			FlitBits:    256, // the paper's on-chip flit width
+		},
+		Link: orion.LinkConfig{LengthMm: 3}, // 3 mm on-chip links (1.08 pF)
+		Tech: orion.TechConfig{FreqGHz: 2},  // 0.1 µm, 1.2 V by default
+		Traffic: orion.TrafficConfig{
+			Pattern:      orion.Uniform(),
+			Rate:         0.10, // packets/cycle/node
+			PacketLength: 5,    // 1 head + 4 data flits
+		},
+	}
+
+	res, err := orion.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("avg latency:  %.1f cycles over %d packets\n", res.AvgLatency, res.SamplePackets)
+	fmt.Printf("throughput:   %.3f flits/node/cycle accepted\n", res.AcceptedFlitsPerNodeCycle)
+	fmt.Printf("total power:  %.2f W\n", res.TotalPowerW)
+	b := res.Breakdown
+	fmt.Printf("breakdown:    buffers %.1f%%, crossbars %.1f%%, arbiters %.2f%%, links %.1f%%\n",
+		100*b.BufferW/res.TotalPowerW,
+		100*b.CrossbarW/res.TotalPowerW,
+		100*b.ArbiterW/res.TotalPowerW,
+		100*b.LinkW/res.TotalPowerW)
+
+	zl, err := orion.ZeroLoadLatency(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("zero-load:    %.1f cycles (saturation = rate where latency exceeds %.1f)\n", zl, 2*zl)
+}

@@ -1,0 +1,65 @@
+// Wormhole vs virtual-channel routers — the paper's first case study
+// (Section 4.2): compare the WH64, VC16, VC64 and VC128 configurations of
+// an on-chip 4×4 torus across injection rates, simultaneously monitoring
+// latency and power, and report each configuration's saturation throughput
+// and pre-saturation power.
+//
+// The paper's observations to look for in the output:
+//   - more, smaller virtual channels deliver latency comparable to a big
+//     single-queue wormhole buffer at lower power (VC16 vs WH64 power);
+//   - VC128's extra buffering costs power without buying throughput over
+//     VC64;
+//   - power levels off once a configuration saturates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"orion"
+)
+
+func main() {
+	rates := []float64{0.04, 0.08, 0.10, 0.12, 0.14, 0.16, 0.18}
+	opt := orion.ExperimentOptions{SamplePackets: 4000, Seed: 7}
+
+	curves, err := orion.Figure5(opt, rates)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("on-chip 4x4 torus, 256-bit flits, 2 GHz, uniform random traffic")
+	fmt.Printf("%-7s", "rate")
+	for _, r := range rates {
+		fmt.Printf("  %12.2f", r)
+	}
+	fmt.Println()
+	for _, c := range curves {
+		fmt.Printf("%-7s", c.Label)
+		for _, pt := range c.Points {
+			if pt.Failed {
+				fmt.Printf("  %12s", "--")
+				continue
+			}
+			fmt.Printf("  %6.0fc/%4.1fW", pt.Latency, pt.PowerW)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	for _, c := range curves {
+		sat := "not reached"
+		if c.Saturated {
+			sat = fmt.Sprintf("%.2f pkts/cycle/node", c.SaturationRate)
+		}
+		// Power at the last common pre-saturation rate (0.10).
+		var p10 float64
+		for _, pt := range c.Points {
+			if pt.Rate == 0.10 && !pt.Failed {
+				p10 = pt.PowerW
+			}
+		}
+		fmt.Printf("%-7s zero-load %5.1f cycles | saturation %-22s | power @0.10: %5.2f W\n",
+			c.Label, c.ZeroLoad, sat, p10)
+	}
+}

@@ -1,0 +1,455 @@
+package core
+
+import (
+	"fmt"
+
+	"orion/internal/flit"
+	"orion/internal/power"
+	"orion/internal/router"
+	"orion/internal/sim"
+	"orion/internal/stats"
+	"orion/internal/traffic"
+)
+
+// Network is a fully assembled simulation: routers, links, sources, sinks,
+// traffic generation, and power models hooked to the event bus.
+type Network struct {
+	cfg Config
+
+	engine  *sim.Engine
+	bus     *sim.Bus
+	meter   *stats.Meter
+	account *stats.EnergyAccount
+	gen     *traffic.Generator
+
+	routers []router.Router
+	sources []*router.Source
+	sinks   []*router.Sink
+
+	sampler   *stats.LatencySampler
+	constLink []float64
+	staticW   [][stats.NumComponents]float64
+
+	sampleInjected int
+	sampleReceived int
+
+	// measurement-window flit counters
+	ejectedFlits  int64
+	injectedFlits int64
+
+	lastDeliveryCycle int64
+}
+
+// Build assembles a network from a validated configuration.
+func Build(cfg Config) (*Network, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	topo := cfg.Topology
+	nodes := topo.Nodes()
+
+	bus := &sim.Bus{}
+	engine := sim.NewEngine(bus)
+	account := stats.NewEnergyAccount(nodes)
+	meter := stats.NewMeter(account)
+	meter.SetFixedActivity(cfg.FixedActivity)
+	bus.Subscribe(meter.Listen)
+
+	n := &Network{
+		cfg:       cfg,
+		engine:    engine,
+		bus:       bus,
+		meter:     meter,
+		account:   account,
+		routers:   make([]router.Router, nodes),
+		sources:   make([]*router.Source, nodes),
+		sinks:     make([]*router.Sink, nodes),
+		sampler:   stats.NewLatencySampler(),
+		constLink: make([]float64, nodes),
+		staticW:   make([][stats.NumComponents]float64, nodes),
+	}
+
+	// With wraparound links, dimension-ordered routing needs deadlock
+	// avoidance: bubble flow control by default, or dateline VC classes
+	// when requested (see router.Config). DeadlockNone leaves plain
+	// wormhole flow control.
+	rcfg := cfg.Router
+	rcfg.PortDim = make([]int, topo.Ports())
+	for p := range rcfg.PortDim {
+		rcfg.PortDim[p] = topo.DimOf(p)
+	}
+	if topo.Wraparound() {
+		switch {
+		case cfg.Deadlock == DeadlockNone:
+		case rcfg.Kind == router.VirtualChannel && cfg.Deadlock == DeadlockDateline:
+			rcfg.Dateline = true
+		default:
+			rcfg.Bubble = true
+		}
+	}
+
+	for node := 0; node < nodes; node++ {
+		var (
+			r   router.Router
+			err error
+		)
+		if rcfg.Kind == router.CentralBuffered {
+			r, err = router.NewCB(node, rcfg, bus)
+		} else {
+			r, err = router.NewXB(node, rcfg, bus)
+		}
+		if err != nil {
+			return nil, err
+		}
+		n.routers[node] = r
+	}
+
+	if err := n.wire(); err != nil {
+		return nil, err
+	}
+	if rcfg.Kind == router.VirtualChannel && rcfg.Bubble {
+		if err := n.buildRings(); err != nil {
+			return nil, err
+		}
+	}
+	if err := n.registerPowerModels(); err != nil {
+		return nil, err
+	}
+
+	gen, err := traffic.NewGenerator(cfg.Traffic, topo)
+	if err != nil {
+		return nil, err
+	}
+	n.gen = gen
+
+	// Registration order: sources, routers, sinks (order does not affect
+	// results — all cross-module communication is through one-cycle
+	// wires).
+	for node := 0; node < nodes; node++ {
+		engine.Register(n.sources[node])
+	}
+	for node := 0; node < nodes; node++ {
+		engine.Register(n.routers[node])
+	}
+	for node := 0; node < nodes; node++ {
+		engine.Register(n.sinks[node])
+	}
+	return n, nil
+}
+
+// wire creates all data and credit wires: one pair per directed
+// inter-router link, plus injection and ejection wiring per node.
+func (n *Network) wire() error {
+	topo := n.cfg.Topology
+	rcfg := n.cfg.Router
+	local := topo.Ports() - 1
+
+	for node := 0; node < topo.Nodes(); node++ {
+		for port := 0; port < local; port++ {
+			neighbor, ok := topo.Neighbor(node, port)
+			if !ok {
+				continue // mesh edge
+			}
+			data := sim.NewWire[*flit.Flit](fmt.Sprintf("link %d.%d->%d", node, port, neighbor))
+			credit := sim.NewLossyWire[flit.Credit](fmt.Sprintf("credit %d<-%d", node, neighbor))
+			n.engine.Connect(data)
+			n.engine.Connect(credit)
+			if err := n.routers[node].AttachOutput(port, data, credit, rcfg.BufferDepth, false); err != nil {
+				return err
+			}
+			if err := n.routers[neighbor].AttachInput(topo.OppositePort(port), data, credit); err != nil {
+				return err
+			}
+		}
+
+		// Injection.
+		inj := sim.NewWire[*flit.Flit](fmt.Sprintf("inject %d", node))
+		injCred := sim.NewLossyWire[flit.Credit](fmt.Sprintf("inject-credit %d", node))
+		n.engine.Connect(inj)
+		n.engine.Connect(injCred)
+		if err := n.routers[node].AttachInput(local, inj, injCred); err != nil {
+			return err
+		}
+		src, err := router.NewSource(node, rcfg.VCs, rcfg.BufferDepth, inj, injCred)
+		if err != nil {
+			return err
+		}
+		n.sources[node] = src
+
+		// Ejection (immediate, Section 4.1).
+		eject := sim.NewWire[*flit.Flit](fmt.Sprintf("eject %d", node))
+		n.engine.Connect(eject)
+		if err := n.routers[node].AttachOutput(local, eject, nil, 0, true); err != nil {
+			return err
+		}
+		sink, err := router.NewSink(node, eject, n.onEject)
+		if err != nil {
+			return err
+		}
+		n.sinks[node] = sink
+	}
+	return nil
+}
+
+// buildRings creates one Ring occupancy accountant per unidirectional
+// torus ring per VC and attaches every member input buffer and feeding
+// output channel, enabling bubble flow control in virtual-channel routers.
+// Rings are discovered generically by following each directed port's
+// neighbour chain until it cycles back, so any wraparound topology
+// (2-D torus, k-ary n-cube) is covered.
+func (n *Network) buildRings() error {
+	topo := n.cfg.Topology
+	if !topo.Wraparound() {
+		return nil
+	}
+	local := topo.Ports() - 1
+	for port := 0; port < local; port++ {
+		seen := make([]bool, topo.Nodes())
+		for start := 0; start < topo.Nodes(); start++ {
+			if seen[start] {
+				continue
+			}
+			// Collect the cycle of nodes following this port.
+			var cycle []int
+			node := start
+			for {
+				if seen[node] {
+					break
+				}
+				seen[node] = true
+				cycle = append(cycle, node)
+				next, ok := topo.Neighbor(node, port)
+				if !ok {
+					return fmt.Errorf("core: wraparound topology missing neighbour at node %d port %d", node, port)
+				}
+				node = next
+			}
+			if node != start {
+				return fmt.Errorf("core: port %d does not form a ring from node %d", port, start)
+			}
+			inPort := topo.OppositePort(port)
+			for v := 0; v < n.cfg.Router.VCs; v++ {
+				ring, err := router.NewRing(len(cycle), n.cfg.Router.BufferDepth)
+				if err != nil {
+					return err
+				}
+				for m, member := range cycle {
+					xb, ok := n.routers[member].(*router.XBRouter)
+					if !ok {
+						return fmt.Errorf("core: bubble rings need XB routers, node %d is %T", member, n.routers[member])
+					}
+					// The member's input buffer receives the ring's
+					// channel; its output channel feeds the next
+					// member's buffer.
+					if err := xb.SetInputRing(inPort, v, ring, m); err != nil {
+						return err
+					}
+					down := (m + 1) % len(cycle)
+					if err := xb.SetOutputRing(port, v, ring, down); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Snapshot reports per-node source queue lengths and buffered flit counts,
+// for diagnostics and tests.
+func (n *Network) Snapshot() (sourceQueues, buffered []int) {
+	sourceQueues = make([]int, len(n.sources))
+	buffered = make([]int, len(n.routers))
+	for i, s := range n.sources {
+		sourceQueues[i] = s.QueuedFlits()
+	}
+	type bufCounter interface{ BufferedFlits() int }
+	for i, r := range n.routers {
+		if bc, ok := r.(bufCounter); ok {
+			buffered[i] = bc.BufferedFlits()
+		}
+	}
+	return sourceQueues, buffered
+}
+
+// SampleStatus reports sample-packet progress, for diagnostics.
+func (n *Network) SampleStatus() (injected, received int) {
+	return n.sampleInjected, n.sampleReceived
+}
+
+// Step advances the simulation one cycle outside the standard protocol
+// (testing hook). sample tags new packets as measurement samples.
+func (n *Network) Step(sample bool) error { return n.tick(sample) }
+
+// onEject records delivered flits and sample-packet completion.
+func (n *Network) onEject(f *flit.Flit, cycle int64) {
+	n.lastDeliveryCycle = cycle
+	if n.account.Recording() {
+		n.ejectedFlits++
+	}
+	if f.Kind.IsTail() && f.Packet != nil && f.Packet.Sample {
+		n.sampler.RecordPacket(f.Packet.CreatedAt, cycle, f.Packet.Length)
+		n.sampleReceived++
+	}
+}
+
+// registerPowerModels builds one power model per physical component and
+// hooks it to the meter, and computes per-node constant link power.
+func (n *Network) registerPowerModels() error {
+	cfg := n.cfg
+	topo := cfg.Topology
+	ports := cfg.Router.Ports
+	local := ports - 1
+
+	bufModel, err := power.NewBuffer(power.BufferConfig{
+		Flits:      cfg.Router.BufferDepth,
+		FlitBits:   cfg.Router.FlitBits,
+		ReadPorts:  1,
+		WritePorts: 1,
+	}, cfg.Tech)
+	if err != nil {
+		return err
+	}
+
+	var xbModel *power.CrossbarModel
+	if cfg.Router.Kind != router.CentralBuffered {
+		xbModel, err = power.NewCrossbar(power.CrossbarConfig{
+			Kind:      cfg.CrossbarKind,
+			Inputs:    ports,
+			Outputs:   ports,
+			WidthBits: cfg.Router.FlitBits,
+		}, cfg.Tech)
+		if err != nil {
+			return err
+		}
+	}
+
+	var cbModel *power.CentralBufferModel
+	if cfg.Router.Kind == router.CentralBuffered {
+		cbModel, err = power.NewCentralBuffer(power.CentralBufferConfig{
+			Banks:      cfg.Router.CBBanks,
+			Rows:       cfg.Router.CBRows,
+			FlitBits:   cfg.Router.FlitBits,
+			ReadPorts:  cfg.Router.CBReadPorts,
+			WritePorts: cfg.Router.CBWritePorts,
+		}, cfg.Tech)
+		if err != nil {
+			return err
+		}
+	}
+
+	linkModel, err := power.NewLink(cfg.Link, cfg.Tech)
+	if err != nil {
+		return err
+	}
+
+	newArb := func(requesters int) (*power.ArbiterModel, error) {
+		return power.NewArbiter(power.ArbiterConfig{
+			Kind:       cfg.ArbiterKind,
+			Requesters: requesters,
+		}, cfg.Tech)
+	}
+
+	// leak accumulates static power when leakage modelling is enabled
+	// (an extension beyond the paper's dynamic-only models).
+	leak := func(node int, c stats.Component, watts float64) {
+		if cfg.IncludeLeakage {
+			n.staticW[node][c] += watts
+		}
+	}
+
+	for node := 0; node < topo.Nodes(); node++ {
+		for p := 0; p < ports; p++ {
+			for v := 0; v < cfg.Router.VCs; v++ {
+				n.meter.RegisterBuffer(node, p, v, bufModel)
+				leak(node, stats.CompBuffer, bufModel.StaticPowerW())
+			}
+		}
+
+		switch cfg.Router.Kind {
+		case router.CentralBuffered:
+			n.meter.RegisterCentralBuffer(node, cbModel)
+			leak(node, stats.CompCentralBuffer, cbModel.StaticPowerW())
+			for wp := 0; wp < cfg.Router.CBWritePorts; wp++ {
+				a, err := newArb(ports)
+				if err != nil {
+					return err
+				}
+				n.meter.RegisterArbiter(node, sim.EvArbitration, sim.StageInput, wp, a)
+				leak(node, stats.CompArbiter, a.StaticPowerW())
+			}
+			for rp := 0; rp < cfg.Router.CBReadPorts; rp++ {
+				a, err := newArb(ports)
+				if err != nil {
+					return err
+				}
+				n.meter.RegisterArbiter(node, sim.EvArbitration, sim.StageOutput, rp, a)
+				leak(node, stats.CompArbiter, a.StaticPowerW())
+			}
+
+		default:
+			n.meter.RegisterCrossbar(node, xbModel)
+			leak(node, stats.CompCrossbar, xbModel.StaticPowerW())
+			for o := 0; o < ports; o++ {
+				a, err := newArb(ports - 1)
+				if err != nil {
+					return err
+				}
+				n.meter.RegisterArbiter(node, sim.EvArbitration, sim.StageOutput, o, a)
+				leak(node, stats.CompArbiter, a.StaticPowerW())
+			}
+			if cfg.Router.Kind == router.VirtualChannel {
+				for p := 0; p < ports; p++ {
+					if cfg.Router.VCs > 1 {
+						a, err := newArb(cfg.Router.VCs)
+						if err != nil {
+							return err
+						}
+						n.meter.RegisterArbiter(node, sim.EvArbitration, sim.StageInput, p, a)
+						leak(node, stats.CompArbiter, a.StaticPowerW())
+						av, err := newArb(cfg.Router.VCs)
+						if err != nil {
+							return err
+						}
+						n.meter.RegisterArbiter(node, sim.EvVCAllocation, sim.StageInput, p, av)
+						leak(node, stats.CompArbiter, av.StaticPowerW())
+					}
+					ao, err := newArb(ports - 1)
+					if err != nil {
+						return err
+					}
+					n.meter.RegisterArbiter(node, sim.EvVCAllocation, sim.StageOutput, p, ao)
+					leak(node, stats.CompArbiter, ao.StaticPowerW())
+				}
+			}
+		}
+
+		// One link per router port (the paper's chip-to-chip study
+		// assumes a 3 W link on each of the five ports; on-chip links
+		// dissipate per-traversal energy on the four network ports).
+		linkCount := 1 // local port
+		for p := 0; p < local; p++ {
+			if _, ok := topo.Neighbor(node, p); ok {
+				n.meter.RegisterLink(node, p, linkModel)
+				leak(node, stats.CompLink, linkModel.StaticPowerW())
+				if cfg.LinkDVS != nil {
+					ctrl, err := power.NewDVSController(*cfg.LinkDVS)
+					if err != nil {
+						return err
+					}
+					n.meter.RegisterLinkDVS(node, p, ctrl)
+					if err := n.routers[node].SetGovernor(p, ctrl); err != nil {
+						return err
+					}
+				}
+				linkCount++
+			}
+		}
+		n.constLink[node] = float64(linkCount) * linkModel.ConstantPower()
+	}
+	return nil
+}
+
+// Router returns the node's router (testing hook).
+func (n *Network) Router(node int) router.Router { return n.routers[node] }

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+
+	"orion/internal/sim"
+	"orion/internal/stats"
+	"orion/internal/traffic"
+)
+
+// Result reports one simulation's performance and power outcome.
+type Result struct {
+	// AvgLatency is the mean sample-packet latency in cycles, from
+	// packet creation (including source queuing) to last-flit ejection.
+	AvgLatency float64
+	// MinLatency and MaxLatency bound the sample.
+	MinLatency, MaxLatency float64
+	// LatencyStdDev is the sample standard deviation.
+	LatencyStdDev float64
+	// LatencyP50, LatencyP95 and LatencyP99 are latency percentiles.
+	LatencyP50, LatencyP95, LatencyP99 float64
+	// SamplePackets is the number of packets measured.
+	SamplePackets int64
+
+	// MeasuredCycles is the measurement window length (total minus
+	// warm-up).
+	MeasuredCycles int64
+	// TotalCycles is the full simulation length.
+	TotalCycles int64
+
+	// InjectedFlits and EjectedFlits count flits entering/leaving the
+	// network during the measurement window.
+	InjectedFlits, EjectedFlits int64
+	// AcceptedFlitsPerNodeCycle is the delivered throughput.
+	AcceptedFlitsPerNodeCycle float64
+	// AcceptedPacketsPerNodeCycle is the delivered packet throughput.
+	AcceptedPacketsPerNodeCycle float64
+
+	// Power is the full per-node per-component breakdown.
+	Power *stats.PowerBreakdown
+	// TotalPowerW is the network's total average power in watts.
+	TotalPowerW float64
+	// NodePowerW is each node's total average power (Figure 6's spatial
+	// distribution).
+	NodePowerW []float64
+	// ComponentPowerW aggregates power by component network-wide
+	// (Figures 5(c), 7(c), 7(f)), including leakage when modelled.
+	ComponentPowerW [stats.NumComponents]float64
+	// StaticPowerW is network-wide leakage power (zero unless
+	// IncludeLeakage was set; extension beyond the 2002 models).
+	StaticPowerW float64
+	// EnergyJ is the total energy recorded during measurement.
+	EnergyJ float64
+	// EventCounts tallies power events by type over the measurement
+	// window — the switching activity the paper monitors through
+	// simulation, indexed by sim.EventType.
+	EventCounts [sim.NumEventTypes]int64
+
+	// PowerProfileW is the power-vs-time series sampled every
+	// ProfileWindowCycles over the measurement period (empty unless
+	// requested). Constant link power and leakage are included.
+	PowerProfileW []float64
+	// ProfileWindowCycles is the sampling window of PowerProfileW.
+	ProfileWindowCycles int64
+}
+
+// Run executes the paper's measurement protocol (Section 4.1) and returns
+// the result:
+//
+//  1. warm up for WarmupCycles with energy recording off;
+//  2. tag the next SamplePackets injected packets as the sample and start
+//     recording energy;
+//  3. keep injecting at the prescribed rate until every sample packet has
+//     been received;
+//  4. average power = total energy × f_clk / measured cycles.
+func (n *Network) Run() (*Result, error) {
+	cfg := n.cfg
+
+	// Phase 1: warm-up.
+	for n.engine.Cycle() < cfg.WarmupCycles {
+		if err := n.tick(false); err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 2: measurement.
+	n.account.SetRecording(true)
+	measureStart := n.engine.Cycle()
+	n.lastDeliveryCycle = measureStart
+	countsAtStart := n.bus.Count
+
+	target := func() int {
+		// With trace replay the sample may be smaller than requested.
+		if n.cfg.Trace != nil && n.cfg.Trace.Done() && n.sampleInjected < cfg.SamplePackets {
+			return n.sampleInjected
+		}
+		return cfg.SamplePackets
+	}
+
+	// Power-vs-time profiling state.
+	var (
+		profile    []float64
+		lastEnergy float64
+		baseWatts  float64 // constant link + static power
+	)
+	if cfg.ProfileWindow > 0 {
+		for _, w := range n.constLink {
+			baseWatts += w
+		}
+		for _, node := range n.staticW {
+			for _, w := range node {
+				baseWatts += w
+			}
+		}
+	}
+
+	for n.sampleReceived < target() {
+		if cfg.ProfileWindow > 0 && (n.engine.Cycle()-measureStart)%cfg.ProfileWindow == 0 &&
+			n.engine.Cycle() > measureStart {
+			e := n.account.Total()
+			profile = append(profile, (e-lastEnergy)*cfg.Tech.FreqHz/float64(cfg.ProfileWindow)+baseWatts)
+			lastEnergy = e
+		}
+		if n.engine.Cycle() >= cfg.MaxCycles {
+			return nil, fmt.Errorf("core: %d of %d sample packets delivered after %d cycles (network saturated beyond recovery or MaxCycles too small)",
+				n.sampleReceived, cfg.SamplePackets, n.engine.Cycle())
+		}
+		if n.engine.Cycle()-n.lastDeliveryCycle > cfg.ProgressWindow {
+			return nil, fmt.Errorf("core: no flit delivered for %d cycles with %d sample packets outstanding (deadlock or starvation)",
+				cfg.ProgressWindow, cfg.SamplePackets-n.sampleReceived)
+		}
+		if err := n.tick(n.sampleInjected < cfg.SamplePackets); err != nil {
+			return nil, err
+		}
+	}
+	if err := n.meter.Err(); err != nil {
+		return nil, err
+	}
+
+	measured := n.engine.Cycle() - measureStart
+	pb, err := n.account.Power(cfg.Tech.FreqHz, measured, n.constLink, n.staticW)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		AvgLatency:      n.sampler.Mean(),
+		MinLatency:      n.sampler.Min(),
+		MaxLatency:      n.sampler.Max(),
+		LatencyStdDev:   n.sampler.StdDev(),
+		LatencyP50:      n.sampler.Percentile(50),
+		LatencyP95:      n.sampler.Percentile(95),
+		LatencyP99:      n.sampler.Percentile(99),
+		SamplePackets:   n.sampler.Count(),
+		MeasuredCycles:  measured,
+		TotalCycles:     n.engine.Cycle(),
+		InjectedFlits:   n.injectedFlits,
+		EjectedFlits:    n.ejectedFlits,
+		Power:           pb,
+		TotalPowerW:     pb.Total(),
+		NodePowerW:      make([]float64, n.account.Nodes()),
+		ComponentPowerW: pb.ByComponent(),
+		StaticPowerW:    pb.StaticTotal(),
+		EnergyJ:         n.account.Total(),
+	}
+	for i := range res.EventCounts {
+		res.EventCounts[i] = n.bus.Count[i] - countsAtStart[i]
+	}
+	if cfg.ProfileWindow > 0 {
+		res.PowerProfileW = profile
+		res.ProfileWindowCycles = cfg.ProfileWindow
+	}
+	nodes := float64(n.account.Nodes())
+	if measured > 0 {
+		res.AcceptedFlitsPerNodeCycle = float64(n.ejectedFlits) / float64(measured) / nodes
+		if cfg.Traffic.PacketLength > 0 {
+			res.AcceptedPacketsPerNodeCycle = res.AcceptedFlitsPerNodeCycle / float64(cfg.Traffic.PacketLength)
+		}
+	}
+	for i := range res.NodePowerW {
+		res.NodePowerW[i] = pb.NodeTotal(i)
+	}
+	return res, nil
+}
+
+// tick injects this cycle's generated packets and advances the engine one
+// cycle. sample tags newly created packets as measurement samples.
+func (n *Network) tick(sample bool) error {
+	var (
+		pkts []traffic.NewPacket
+		err  error
+	)
+	if n.cfg.Trace != nil {
+		pkts, err = n.cfg.Trace.Tick(n.gen, n.engine.Cycle(), sample)
+	} else {
+		pkts, err = n.gen.Tick(n.engine.Cycle(), sample)
+	}
+	if err != nil {
+		return err
+	}
+	for _, p := range pkts {
+		if sample {
+			if n.sampleInjected < n.cfg.SamplePackets {
+				n.sampleInjected++
+			} else {
+				p.Packet.Sample = false
+			}
+		}
+		if n.account.Recording() {
+			n.injectedFlits += int64(len(p.Flits))
+		}
+		n.sources[p.Packet.Src].Enqueue(p.Flits)
+	}
+	return n.engine.Step()
+}
+
+// RunConfig builds and runs a configuration in one call.
+func RunConfig(cfg Config) (*Result, error) {
+	n, err := Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return n.Run()
+}
+
+// ZeroLoadLatency measures the network's zero-load latency by running the
+// same configuration at a very low injection rate (Section 4.1 defines
+// saturation relative to "the latency experienced by packets when there is
+// no contention in the network").
+func ZeroLoadLatency(cfg Config) (float64, error) {
+	zl := cfg
+	zl.Traffic.Rates = make([]float64, len(cfg.Traffic.Rates))
+	for i, r := range cfg.Traffic.Rates {
+		if r > 0 {
+			zl.Traffic.Rates[i] = 0.002
+		}
+	}
+	zl.SamplePackets = 200
+	zl.WarmupCycles = 200
+	res, err := RunConfig(zl)
+	if err != nil {
+		return 0, fmt.Errorf("core: zero-load run: %w", err)
+	}
+	return res.AvgLatency, nil
+}

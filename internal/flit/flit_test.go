@@ -1,0 +1,184 @@
+package flit
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		Head:     "head",
+		Body:     "body",
+		Tail:     "tail",
+		HeadTail: "headtail",
+		Kind(42): "Kind(42)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	if !Head.IsHead() || Head.IsTail() {
+		t.Error("Head predicates wrong")
+	}
+	if Body.IsHead() || Body.IsTail() {
+		t.Error("Body predicates wrong")
+	}
+	if Tail.IsHead() || !Tail.IsTail() {
+		t.Error("Tail predicates wrong")
+	}
+	if !HeadTail.IsHead() || !HeadTail.IsTail() {
+		t.Error("HeadTail predicates wrong")
+	}
+}
+
+func TestOutputPort(t *testing.T) {
+	p := &Packet{ID: 1, Route: []int{2, 0, 4}}
+	f := &Flit{Packet: p, Hop: 1}
+	port, err := f.OutputPort()
+	if err != nil {
+		t.Fatalf("OutputPort: %v", err)
+	}
+	if port != 0 {
+		t.Errorf("port = %d, want 0", port)
+	}
+	f.Hop = 3
+	if _, err := f.OutputPort(); err == nil {
+		t.Error("route overrun should error")
+	}
+	f.Hop = -1
+	if _, err := f.OutputPort(); err == nil {
+		t.Error("negative hop should error")
+	}
+	f.Packet = nil
+	f.Hop = 0
+	if _, err := f.OutputPort(); err == nil {
+		t.Error("nil packet should error")
+	}
+}
+
+func TestPayloadWords(t *testing.T) {
+	cases := []struct{ bits, want int }{
+		{0, 0}, {-5, 0}, {1, 1}, {63, 1}, {64, 1}, {65, 2}, {128, 2}, {256, 4}, {257, 5},
+	}
+	for _, c := range cases {
+		if got := PayloadWords(c.bits); got != c.want {
+			t.Errorf("PayloadWords(%d) = %d, want %d", c.bits, got, c.want)
+		}
+	}
+}
+
+func TestHamming(t *testing.T) {
+	if got := Hamming([]uint64{0xFF}, []uint64{0x0F}); got != 4 {
+		t.Errorf("Hamming(0xFF,0x0F) = %d, want 4", got)
+	}
+	if got := Hamming(nil, []uint64{0x3}); got != 2 {
+		t.Errorf("Hamming(nil,0x3) = %d, want 2", got)
+	}
+	if got := Hamming([]uint64{1, 1}, []uint64{1}); got != 1 {
+		t.Errorf("length-mismatch Hamming = %d, want 1", got)
+	}
+	if got := Hamming(nil, nil); got != 0 {
+		t.Errorf("Hamming(nil,nil) = %d, want 0", got)
+	}
+}
+
+func TestHammingProperties(t *testing.T) {
+	// Symmetry, identity, and agreement with math/bits.
+	err := quick.Check(func(a, b []uint64) bool {
+		if Hamming(a, b) != Hamming(b, a) {
+			return false
+		}
+		if Hamming(a, a) != 0 {
+			return false
+		}
+		n := len(a)
+		if len(b) > n {
+			n = len(b)
+		}
+		want := 0
+		for i := 0; i < n; i++ {
+			var x, y uint64
+			if i < len(a) {
+				x = a[i]
+			}
+			if i < len(b) {
+				y = b[i]
+			}
+			want += bits.OnesCount64(x ^ y)
+		}
+		return Hamming(a, b) == want
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHammingTriangleInequality(t *testing.T) {
+	err := quick.Check(func(a, b, c []uint64) bool {
+		return Hamming(a, c) <= Hamming(a, b)+Hamming(b, c)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOnes(t *testing.T) {
+	if got := Ones([]uint64{0xF0, 0x1}); got != 5 {
+		t.Errorf("Ones = %d, want 5", got)
+	}
+	if got := Ones(nil); got != 0 {
+		t.Errorf("Ones(nil) = %d, want 0", got)
+	}
+}
+
+func TestMaskPayload(t *testing.T) {
+	p := []uint64{^uint64(0), ^uint64(0)}
+	MaskPayload(p, 68)
+	if p[0] != ^uint64(0) {
+		t.Errorf("word 0 = %x, want all ones", p[0])
+	}
+	if p[1] != 0xF {
+		t.Errorf("word 1 = %x, want 0xF", p[1])
+	}
+
+	q := []uint64{^uint64(0), ^uint64(0)}
+	MaskPayload(q, 128)
+	if q[0] != ^uint64(0) || q[1] != ^uint64(0) {
+		t.Error("mask at exact word boundary should not clear bits")
+	}
+
+	r := []uint64{123, 456}
+	MaskPayload(r, 0)
+	if r[0] != 0 || r[1] != 0 {
+		t.Error("mask with zero width should clear everything")
+	}
+}
+
+func TestMaskPayloadBoundsOnes(t *testing.T) {
+	err := quick.Check(func(raw []uint64, width uint8) bool {
+		w := int(width)
+		p := make([]uint64, len(raw))
+		copy(p, raw)
+		MaskPayload(p, w)
+		return Ones(p) <= w
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlitString(t *testing.T) {
+	f := &Flit{Packet: &Packet{ID: 7}, Seq: 2, Kind: Body, Hop: 1, VC: 3}
+	if got := f.String(); got != "flit{pkt=7 seq=2 body hop=1 vc=3}" {
+		t.Errorf("String() = %q", got)
+	}
+	g := &Flit{Kind: Head}
+	if got := g.String(); got != "flit{pkt=-1 seq=0 head hop=0 vc=0}" {
+		t.Errorf("String() = %q", got)
+	}
+}

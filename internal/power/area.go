@@ -1,0 +1,19 @@
+package power
+
+// Router area estimation (Section 4.4): "We estimate router area as the sum
+// of input buffer area and switch fabric area, ignoring arbiter area since
+// arbiters are relatively small."
+
+// XBRouterAreaUm2 returns the area of an input-buffered crossbar router
+// with the given number of ports, virtual channels per port (1 for a
+// wormhole router), per-VC buffer bank model, and crossbar model.
+func XBRouterAreaUm2(ports, vcsPerPort int, buf *BufferModel, xbar *CrossbarModel) float64 {
+	return float64(ports*vcsPerPort)*buf.AreaUm2() + xbar.AreaUm2()
+}
+
+// CBRouterAreaUm2 returns the area of a central-buffered router with the
+// given number of ports, per-port input buffer model, and central buffer
+// model.
+func CBRouterAreaUm2(ports int, inbuf *BufferModel, cb *CentralBufferModel) float64 {
+	return float64(ports)*inbuf.AreaUm2() + cb.AreaUm2()
+}

@@ -1,0 +1,159 @@
+package power
+
+import (
+	"fmt"
+
+	"orion/internal/tech"
+)
+
+// BufferConfig holds the architectural parameters of a FIFO buffer
+// (Table 2).
+type BufferConfig struct {
+	// Flits is the buffer size in flits (B).
+	Flits int
+	// FlitBits is the flit size in bits (F).
+	FlitBits int
+	// ReadPorts is the number of buffer read ports (P_r).
+	ReadPorts int
+	// WritePorts is the number of buffer write ports (P_w).
+	WritePorts int
+}
+
+// Validate reports an error for a non-physical configuration.
+func (c BufferConfig) Validate() error {
+	if c.Flits <= 0 {
+		return fmt.Errorf("power: buffer needs at least one flit, got %d", c.Flits)
+	}
+	if c.FlitBits <= 0 {
+		return fmt.Errorf("power: buffer flit width must be positive, got %d", c.FlitBits)
+	}
+	if c.ReadPorts <= 0 || c.WritePorts <= 0 {
+		return fmt.Errorf("power: buffer needs at least one read and one write port, got %d/%d",
+			c.ReadPorts, c.WritePorts)
+	}
+	return nil
+}
+
+// BufferModel is the FIFO buffer power model of Table 2: an SRAM array of
+// B rows by F columns with P_r read and P_w write ports. It adapts
+// architectural SRAM models for caches/register files with router-specific
+// features (e.g. no tri-state output drivers on a dedicated switch port).
+type BufferModel struct {
+	Config BufferConfig
+	Tech   tech.Params
+
+	// Geometry (µm), Table 2 capacitance equations.
+	WordlineLenUm float64 // L_wl = F(w_cell + 2(P_r+P_w)d_w)
+	BitlineLenUm  float64 // L_bl = B(h_cell + (P_r+P_w)d_w)
+
+	// Derived transistor widths (µm).
+	WordlineDriverW float64 // T_wd, sized from wordline load
+	BitlineDriverW  float64 // T_bd, sized from bitline load
+
+	// Switch capacitances (F).
+	CWordline  float64 // C_wl = 2F·Cg(T_p) + Ca(T_wd) + Cw(L_wl)
+	CBitlineR  float64 // C_br = B·Cd(T_p) + Cd(T_c) + Cw(L_bl)
+	CBitlineW  float64 // C_bw = B·Cd(T_p) + Ca(T_bd) + Cw(L_bl)
+	CPrecharge float64 // C_chg = Cg(T_c)
+	CCell      float64 // C_cell = 2(P_r+P_w)·Cd(T_p) + 2·Ca(T_m)
+
+	// Per-switch energies (J), E_x = ½·C_x·Vdd².
+	EWordline  float64
+	EBitlineR  float64
+	EBitlineW  float64
+	EPrecharge float64
+	ECell      float64
+	ESenseAmp  float64 // E_amp, empirical (Table 2)
+}
+
+// NewBuffer derives the buffer power model from its configuration.
+func NewBuffer(cfg BufferConfig, t tech.Params) (*BufferModel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	m := &BufferModel{Config: cfg, Tech: t}
+	B := float64(cfg.Flits)
+	F := float64(cfg.FlitBits)
+	ports := float64(cfg.ReadPorts + cfg.WritePorts)
+
+	m.WordlineLenUm = F * (t.CellWidthUm + 2*ports*t.WireSpacingUm)
+	m.BitlineLenUm = B * (t.CellHeightUm + ports*t.WireSpacingUm)
+
+	// Driver widths are computed from the load they must drive
+	// (Section 3.1), excluding the driver's own parasitic which is then
+	// added to the line capacitance.
+	wlLoad := 2*F*t.Cg(t.WPass) + t.Cw(m.WordlineLenUm)
+	m.WordlineDriverW = t.DriverWidth(wlLoad)
+	m.CWordline = wlLoad + t.Ca(m.WordlineDriverW)
+
+	blWireAndDrains := B*t.Cd(t.WPass) + t.Cw(m.BitlineLenUm)
+	m.CBitlineR = blWireAndDrains + t.Cd(t.WPrecharge)
+	m.BitlineDriverW = t.DriverWidth(blWireAndDrains)
+	m.CBitlineW = blWireAndDrains + t.Ca(m.BitlineDriverW)
+
+	m.CPrecharge = t.Cg(t.WPrecharge)
+	m.CCell = 2*ports*t.Cd(t.WPass) + 2*t.Ca(t.WCellInv)
+
+	m.EWordline = t.EnergyPerSwitch(m.CWordline)
+	m.EBitlineR = t.EnergyPerSwitch(m.CBitlineR)
+	m.EBitlineW = t.EnergyPerSwitch(m.CBitlineW)
+	m.EPrecharge = t.EnergyPerSwitch(m.CPrecharge)
+	m.ECell = t.EnergyPerSwitch(m.CCell)
+	m.ESenseAmp = t.EnergyPerSwitch(t.SenseAmpCap)
+	return m, nil
+}
+
+// ReadEnergy returns the energy of one read operation (Table 2):
+// E_read = E_wl + F·(E_br + 2·E_chg + E_amp).
+// Reads are data-independent: every bitline is precharged and one of each
+// differential pair discharges regardless of the value read.
+func (m *BufferModel) ReadEnergy() float64 {
+	F := float64(m.Config.FlitBits)
+	return m.EWordline + F*(m.EBitlineR+2*m.EPrecharge+m.ESenseAmp)
+}
+
+// WriteEnergy returns the energy of one write operation (Table 2):
+// E_wrt = E_wl + δ_bw·E_bw + δ_bc·E_cell, where switchingBitlines (δ_bw) is
+// the number of write bitlines that switch relative to the previous write
+// and switchingCells (δ_bc) is the number of memory cells whose stored
+// value flips. Both are tracked during simulation (use BufferState).
+func (m *BufferModel) WriteEnergy(switchingBitlines, switchingCells int) float64 {
+	if switchingBitlines < 0 {
+		switchingBitlines = 0
+	}
+	if switchingCells < 0 {
+		switchingCells = 0
+	}
+	if max := m.Config.FlitBits; switchingBitlines > max {
+		switchingBitlines = max
+	}
+	if max := m.Config.FlitBits; switchingCells > max {
+		switchingCells = max
+	}
+	return m.EWordline +
+		float64(switchingBitlines)*m.EBitlineW +
+		float64(switchingCells)*m.ECell
+}
+
+// MaxWriteEnergy returns the write energy when every bitline and cell
+// switches — an upper bound useful for peak-power budgeting.
+func (m *BufferModel) MaxWriteEnergy() float64 {
+	return m.WriteEnergy(m.Config.FlitBits, m.Config.FlitBits)
+}
+
+// AvgWriteEnergy returns the write energy with the conventional α = 0.5
+// activity assumption (half the bitlines and half the cells switch), used
+// by the fixed-activity ablation.
+func (m *BufferModel) AvgWriteEnergy() float64 {
+	return m.WriteEnergy(m.Config.FlitBits/2, m.Config.FlitBits/2)
+}
+
+// AreaUm2 returns the array area assuming a rectangular layout
+// (Section 4.4: "our power models include length estimation of buffer
+// bitlines [and] wordlines ... router area can be easily estimated").
+func (m *BufferModel) AreaUm2() float64 {
+	return m.WordlineLenUm * m.BitlineLenUm
+}

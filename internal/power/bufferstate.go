@@ -1,0 +1,70 @@
+package power
+
+import "orion/internal/flit"
+
+// BufferState tracks the switching activity of one physical buffer
+// instance during simulation, converting written values into the δ_bw
+// (switching write bitlines) and δ_bc (switching memory cells) factors of
+// Table 2. It mirrors the array contents as a ring so δ_bc is computed
+// against the true overwritten cell values.
+type BufferState struct {
+	model     *BufferModel
+	lastWrite []uint64   // last value driven onto the write bitlines
+	slots     [][]uint64 // mirrored array contents, ring-ordered
+	tail      int
+	warm      bool // false until the first write
+}
+
+// NewBufferState returns a tracker for one instance of the modelled buffer.
+func NewBufferState(m *BufferModel) *BufferState {
+	words := flit.PayloadWords(m.Config.FlitBits)
+	slots := make([][]uint64, m.Config.Flits)
+	backing := make([]uint64, m.Config.Flits*words)
+	for i := range slots {
+		slots[i], backing = backing[:words:words], backing[words:]
+	}
+	return &BufferState{
+		model:     m,
+		lastWrite: make([]uint64, words),
+		slots:     slots,
+	}
+}
+
+// Model returns the underlying capacitance model.
+func (s *BufferState) Model() *BufferModel { return s.model }
+
+// Write records a write of data into the FIFO tail and returns its energy.
+// The first write assumes all bitlines and the written cells switch, as
+// there is no prior electrical state to compare against.
+func (s *BufferState) Write(data []uint64) float64 {
+	var dbw, dbc int
+	if s.warm {
+		dbw = flit.Hamming(s.lastWrite, data)
+		dbc = flit.Hamming(s.slots[s.tail], data)
+	} else {
+		dbw = s.model.Config.FlitBits
+		dbc = flit.Ones(data)
+		s.warm = true
+	}
+	copyInto(&s.lastWrite, data)
+	copyInto(&s.slots[s.tail], data)
+	s.tail = (s.tail + 1) % len(s.slots)
+	return s.model.WriteEnergy(dbw, dbc)
+}
+
+// Read returns the energy of one read operation. Reads are
+// data-independent (Table 2): every bitline pair is precharged and sensed.
+func (s *BufferState) Read() float64 {
+	return s.model.ReadEnergy()
+}
+
+func copyInto(dst *[]uint64, src []uint64) {
+	if len(*dst) < len(src) {
+		*dst = make([]uint64, len(src))
+	}
+	d := *dst
+	n := copy(d, src)
+	for i := n; i < len(d); i++ {
+		d[i] = 0
+	}
+}

@@ -1,0 +1,264 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"orion/internal/tech"
+)
+
+// paperCB is the Section 4.4 central buffer configuration: 4 banks, 1 flit
+// wide (32 bits), 2560 rows, 2 read + 2 write ports.
+func paperCB(t *testing.T) *CentralBufferModel {
+	t.Helper()
+	m, err := NewCentralBuffer(CentralBufferConfig{
+		Banks: 4, Rows: 2560, FlitBits: 32, ReadPorts: 2, WritePorts: 2,
+	}, tech.Default())
+	if err != nil {
+		t.Fatalf("NewCentralBuffer: %v", err)
+	}
+	return m
+}
+
+func TestCentralBufferConfigValidate(t *testing.T) {
+	bad := []CentralBufferConfig{
+		{Banks: 0, Rows: 10, FlitBits: 32, ReadPorts: 2, WritePorts: 2},
+		{Banks: 4, Rows: 0, FlitBits: 32, ReadPorts: 2, WritePorts: 2},
+		{Banks: 4, Rows: 10, FlitBits: 0, ReadPorts: 2, WritePorts: 2},
+		{Banks: 4, Rows: 10, FlitBits: 32, ReadPorts: 0, WritePorts: 2},
+		{Banks: 4, Rows: 10, FlitBits: 32, ReadPorts: 2, WritePorts: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := NewCentralBuffer(cfg, tech.Default()); err == nil {
+			t.Errorf("case %d: accepted invalid config %+v", i, cfg)
+		}
+	}
+}
+
+// TestCentralBufferHierarchicalComposition verifies the Section 3.2 reuse:
+// SRAM banks from the FIFO model, pipeline registers from the flip-flop
+// sub-model, two crossbars from the crossbar model.
+func TestCentralBufferHierarchicalComposition(t *testing.T) {
+	m := paperCB(t)
+	if m.Bank.Config.Flits != 2560 || m.Bank.Config.FlitBits != 32 {
+		t.Errorf("bank config = %+v, want 2560×32", m.Bank.Config)
+	}
+	if m.Bank.Config.ReadPorts != 2 || m.Bank.Config.WritePorts != 2 {
+		t.Errorf("bank ports = %d/%d, want 2/2", m.Bank.Config.ReadPorts, m.Bank.Config.WritePorts)
+	}
+	if m.InXbar.Config.Inputs != 2 || m.InXbar.Config.Outputs != 4 {
+		t.Errorf("input crossbar = %d×%d, want 2×4", m.InXbar.Config.Inputs, m.InXbar.Config.Outputs)
+	}
+	if m.OutXbar.Config.Inputs != 4 || m.OutXbar.Config.Outputs != 2 {
+		t.Errorf("output crossbar = %d×%d, want 4×2", m.OutXbar.Config.Inputs, m.OutXbar.Config.Outputs)
+	}
+	if m.Regs == nil {
+		t.Fatal("pipeline register model missing")
+	}
+	if m.AreaUm2() <= 4*m.Bank.AreaUm2() {
+		t.Error("area should include the crossbars")
+	}
+}
+
+// TestCentralBufferCostlierThanSmallBuffer supports the Figure 7(b)/(f)
+// finding: a central-buffer access costs much more than an input-buffer
+// access of the matched XB configuration because of its far longer
+// bitlines.
+func TestCentralBufferCostlierThanSmallBuffer(t *testing.T) {
+	cb := paperCB(t)
+	xbBank, err := NewBuffer(BufferConfig{Flits: 268, FlitBits: 32, ReadPorts: 1, WritePorts: 1}, tech.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb.Bank.ReadEnergy() <= 2*xbBank.ReadEnergy() {
+		t.Errorf("CB bank read %g should far exceed XB bank read %g",
+			cb.Bank.ReadEnergy(), xbBank.ReadEnergy())
+	}
+}
+
+func TestCentralBufferStateWriteRead(t *testing.T) {
+	m := paperCB(t)
+	s := NewCentralBufferState(m)
+	if s.Model() != m {
+		t.Fatal("Model() accessor broken")
+	}
+	data := []uint64{0xDEADBEEF}
+
+	ew, err := s.Write(0, 1, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must include at least the bank write and some crossbar/register
+	// energy.
+	if ew <= m.Bank.WriteEnergy(32, 24) {
+		t.Errorf("write energy %g should exceed the bare bank write", ew)
+	}
+
+	er, err := s.Read(1, 0, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er <= m.Bank.ReadEnergy() {
+		t.Errorf("read energy %g should exceed the bare bank read", er)
+	}
+
+	// A second identical read moves no data bits: only the bank read and
+	// register clocks remain.
+	er2, err := s.Read(1, 0, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.Bank.ReadEnergy() + m.Regs.LatchEnergy(32, 0)
+	if math.Abs(er2-want)/want > 1e-12 {
+		t.Errorf("repeat read = %g, want %g", er2, want)
+	}
+}
+
+func TestCentralBufferStateRangeChecks(t *testing.T) {
+	s := NewCentralBufferState(paperCB(t))
+	if _, err := s.Write(-1, 0, nil); err == nil {
+		t.Error("bad write port should error")
+	}
+	if _, err := s.Write(0, 9, nil); err == nil {
+		t.Error("bad bank should error")
+	}
+	if _, err := s.Read(0, 7, nil); err == nil {
+		t.Error("bad read port should error")
+	}
+	if _, err := s.Read(9, 0, nil); err == nil {
+		t.Error("bad bank on read should error")
+	}
+}
+
+func TestLinkKindString(t *testing.T) {
+	if OnChipLink.String() != "onchip" || ChipToChipLink.String() != "chip-to-chip" {
+		t.Error("link kind names wrong")
+	}
+	if LinkKind(5).String() != "LinkKind(5)" {
+		t.Error("unknown kind should format numerically")
+	}
+}
+
+func TestLinkConfigValidate(t *testing.T) {
+	bad := []LinkConfig{
+		{Kind: LinkKind(9), WidthBits: 32},
+		{Kind: OnChipLink, WidthBits: 0, LengthUm: 3000},
+		{Kind: OnChipLink, WidthBits: 32, LengthUm: 0},
+		{Kind: ChipToChipLink, WidthBits: 0, ConstantWatts: 3},
+		{Kind: ChipToChipLink, WidthBits: 32, ConstantWatts: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewLink(cfg, tech.Default()); err == nil {
+			t.Errorf("case %d: accepted invalid config %+v", i, cfg)
+		}
+	}
+}
+
+// TestOnChipLinkMatchesPaper: a 3 mm on-chip link has 1.08 pF per bit
+// (Section 4.2), so a full-swing bit costs ½·1.08pF·1.2² = 0.7776 pJ.
+func TestOnChipLinkMatchesPaper(t *testing.T) {
+	m, err := NewLink(LinkConfig{Kind: OnChipLink, WidthBits: 256, LengthUm: 3000}, tech.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.CWire-1.08e-12)/1.08e-12 > 1e-9 {
+		t.Errorf("link wire cap = %g, want 1.08 pF", m.CWire)
+	}
+	want := 0.5 * 1.08e-12 * 1.2 * 1.2
+	if math.Abs(m.EBit-want)/want > 1e-9 {
+		t.Errorf("per-bit energy = %g, want %g", m.EBit, want)
+	}
+	if m.ConstantPower() != 0 {
+		t.Error("on-chip link has no constant power")
+	}
+	if m.TraversalEnergy(10) != 10*m.EBit {
+		t.Error("traversal energy formula wrong")
+	}
+	if m.TraversalEnergy(-2) != 0 || m.TraversalEnergy(1000) != m.TraversalEnergy(256) {
+		t.Error("traversal clamping wrong")
+	}
+	if m.AvgTraversalEnergy() != m.TraversalEnergy(128) {
+		t.Error("average traversal should use half the bits")
+	}
+}
+
+// TestChipToChipLinkTrafficInsensitive: Section 4.4's chip-to-chip links
+// "consume almost the same power regardless of link activity".
+func TestChipToChipLinkTrafficInsensitive(t *testing.T) {
+	m, err := NewLink(LinkConfig{Kind: ChipToChipLink, WidthBits: 32, ConstantWatts: 3}, tech.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ConstantPower() != 3 {
+		t.Errorf("constant power = %g, want 3 W", m.ConstantPower())
+	}
+	if m.TraversalEnergy(32) != 0 {
+		t.Error("chip-to-chip traversal must be energy-free (constant power instead)")
+	}
+}
+
+func TestLinkStateTracksSwitching(t *testing.T) {
+	m, err := NewLink(LinkConfig{Kind: OnChipLink, WidthBits: 64, LengthUm: 3000}, tech.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewLinkState(m)
+	if s.Model() != m {
+		t.Fatal("Model() accessor broken")
+	}
+	e0 := s.Traverse([]uint64{0xFF})
+	if want := m.TraversalEnergy(8); math.Abs(e0-want) > 1e-30 {
+		t.Errorf("first traversal = %g, want %g", e0, want)
+	}
+	if e1 := s.Traverse([]uint64{0xFF}); e1 != 0 {
+		t.Errorf("identical traversal should be free, got %g", e1)
+	}
+	e2 := s.Traverse([]uint64{0x0F})
+	if want := m.TraversalEnergy(4); math.Abs(e2-want) > 1e-30 {
+		t.Errorf("third traversal = %g, want %g", e2, want)
+	}
+}
+
+func TestRouterAreaHelpers(t *testing.T) {
+	buf := mustBuffer(t, BufferConfig{Flits: 8, FlitBits: 32, ReadPorts: 1, WritePorts: 1})
+	xb := mustCrossbar(t, CrossbarConfig{Kind: MatrixCrossbar, Inputs: 5, Outputs: 5, WidthBits: 32})
+	got := XBRouterAreaUm2(5, 2, buf, xb)
+	want := 10*buf.AreaUm2() + xb.AreaUm2()
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("XB router area = %g, want %g", got, want)
+	}
+	cb := paperCB(t)
+	got = CBRouterAreaUm2(5, buf, cb)
+	want = 5*buf.AreaUm2() + cb.AreaUm2()
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("CB router area = %g, want %g", got, want)
+	}
+}
+
+// TestPaperAreaMatch checks the Section 4.4 claim that the CB and XB
+// configurations "take up roughly the same area" (within a factor of 2
+// under our technology parameters).
+func TestPaperAreaMatch(t *testing.T) {
+	p := tech.Default()
+	xbBank, err := NewBuffer(BufferConfig{Flits: 268, FlitBits: 32, ReadPorts: 1, WritePorts: 1}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xbar, err := NewCrossbar(CrossbarConfig{Kind: MatrixCrossbar, Inputs: 5, Outputs: 5, WidthBits: 32}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xbArea := XBRouterAreaUm2(5, 16, xbBank, xbar)
+
+	cb := paperCB(t)
+	inbuf, err := NewBuffer(BufferConfig{Flits: 64, FlitBits: 32, ReadPorts: 1, WritePorts: 1}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cbArea := CBRouterAreaUm2(5, inbuf, cb)
+
+	ratio := xbArea / cbArea
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("XB/CB area ratio = %.2f, want within [0.5, 2.0] (paper: roughly equal)", ratio)
+	}
+}

@@ -1,0 +1,258 @@
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"orion/internal/flit"
+	"orion/internal/tech"
+)
+
+// CrossbarKind selects one of the two crossbar implementations the paper
+// models (Appendix: "multiplexer tree crossbar and matrix crossbar").
+type CrossbarKind int
+
+const (
+	// MatrixCrossbar is a crosspoint array: input buses run across all
+	// output columns, with a connector transistor per crosspoint per bit.
+	MatrixCrossbar CrossbarKind = iota
+	// MuxTreeCrossbar builds each output from a binary tree of 2:1
+	// multiplexers over the inputs.
+	MuxTreeCrossbar
+)
+
+// String implements fmt.Stringer.
+func (k CrossbarKind) String() string {
+	switch k {
+	case MatrixCrossbar:
+		return "matrix"
+	case MuxTreeCrossbar:
+		return "muxtree"
+	default:
+		return fmt.Sprintf("CrossbarKind(%d)", int(k))
+	}
+}
+
+// CrossbarConfig holds the architectural parameters of a crossbar
+// (Table 3).
+type CrossbarConfig struct {
+	// Kind selects the implementation.
+	Kind CrossbarKind
+	// Inputs is the number of input ports (I).
+	Inputs int
+	// Outputs is the number of output ports (O).
+	Outputs int
+	// WidthBits is the datapath width per port (W), usually the flit
+	// width.
+	WidthBits int
+}
+
+// Validate reports an error for a non-physical configuration.
+func (c CrossbarConfig) Validate() error {
+	if c.Kind != MatrixCrossbar && c.Kind != MuxTreeCrossbar {
+		return fmt.Errorf("power: unknown crossbar kind %d", int(c.Kind))
+	}
+	if c.Inputs <= 0 || c.Outputs <= 0 {
+		return fmt.Errorf("power: crossbar needs positive port counts, got %d×%d", c.Inputs, c.Outputs)
+	}
+	if c.WidthBits <= 0 {
+		return fmt.Errorf("power: crossbar width must be positive, got %d", c.WidthBits)
+	}
+	return nil
+}
+
+// CrossbarModel is the crossbar power model of Table 3. Per-bit input and
+// output line capacitances are derived from the crosspoint layout; the
+// control-line energy E_xb_ctr is accounted with the arbitration that
+// drives it (Appendix: "arbiter grant signals drive crossbar control
+// signals so they have identical switching behavior").
+type CrossbarModel struct {
+	Config CrossbarConfig
+	Tech   tech.Params
+
+	// Geometry (µm). In a matrix crossbar the input line spans all O
+	// output columns, each W wires wide at pitch d_w; the output line
+	// spans all I input rows.
+	InLineLenUm  float64 // L_in = O·W·d_w
+	OutLineLenUm float64 // L_out = I·W·d_w
+
+	InDriverW  float64 // T_id, sized from input line load
+	OutDriverW float64 // T_od, sized from output line load
+
+	// Per-bit switch capacitances (F).
+	CInLine  float64 // input line: driver drain + O connector drains + wire
+	COutLine float64 // output line: I connector drains + output driver gate + wire
+	CCtrl    float64 // control line: W connector gates + driver + Cw(L_in/2)
+
+	// Per-switch energies (J).
+	EInLine  float64
+	EOutLine float64
+	ECtrl    float64
+
+	// Mux-tree depth (levels of 2:1 muxes), 0 for matrix crossbars.
+	TreeDepth int
+}
+
+// NewCrossbar derives the crossbar power model from its configuration.
+func NewCrossbar(cfg CrossbarConfig, t tech.Params) (*CrossbarModel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	m := &CrossbarModel{Config: cfg, Tech: t}
+	I := float64(cfg.Inputs)
+	O := float64(cfg.Outputs)
+	W := float64(cfg.WidthBits)
+
+	m.InLineLenUm = O * W * t.XbarPitchUm
+	m.OutLineLenUm = I * W * t.XbarPitchUm
+
+	switch cfg.Kind {
+	case MatrixCrossbar:
+		inLoad := O*t.Cd(t.WConnector) + t.Cw(m.InLineLenUm)
+		m.InDriverW = t.DriverWidth(inLoad)
+		outLoad := I*t.Cd(t.WConnector) + t.Cw(m.OutLineLenUm)
+		m.OutDriverW = t.DriverWidth(outLoad)
+
+		m.CInLine = t.Cd(m.InDriverW) + inLoad
+		m.COutLine = outLoad + t.Cg(m.OutDriverW)
+		// Control lines run along the input direction; the Appendix
+		// uses the average length, hence Cw(L_in/2).
+		ctrlLoad := W*t.Cg(t.WConnector) + t.Cw(m.InLineLenUm/2)
+		m.CCtrl = ctrlLoad + t.Ca(t.DriverWidth(ctrlLoad))
+
+	case MuxTreeCrossbar:
+		// Each output is a binary tree of 2:1 muxes over I inputs,
+		// depth ⌈log2 I⌉. A bit travelling input→output switches one
+		// mux node per level plus the distribution wiring; the input
+		// "line" is the wiring from the port to the tree leaves and
+		// the output "line" is the path through the tree.
+		depth := int(math.Ceil(math.Log2(I)))
+		if depth < 1 {
+			depth = 1
+		}
+		m.TreeDepth = depth
+		leafWire := m.InLineLenUm / 2 // average leaf distance
+		inLoad := t.Cg(t.WConnector) + t.Cw(leafWire)
+		m.InDriverW = t.DriverWidth(inLoad)
+		m.CInLine = t.Cd(m.InDriverW) + inLoad
+
+		perLevel := t.Cd(t.WConnector) + t.Cg(t.WConnector)
+		pathWire := m.OutLineLenUm / 2
+		outLoad := float64(depth)*perLevel + t.Cw(pathWire)
+		m.OutDriverW = t.DriverWidth(outLoad)
+		m.COutLine = outLoad + t.Cg(m.OutDriverW)
+
+		// Select lines: each level steers W bits through I/2^level
+		// muxes; the energy is dominated by the first level.
+		ctrlLoad := W*t.Cg(t.WConnector)*math.Max(1, I/2) + t.Cw(m.InLineLenUm/2)
+		m.CCtrl = ctrlLoad + t.Ca(t.DriverWidth(ctrlLoad))
+	}
+
+	m.EInLine = t.EnergyPerSwitch(m.CInLine)
+	m.EOutLine = t.EnergyPerSwitch(m.COutLine)
+	m.ECtrl = t.EnergyPerSwitch(m.CCtrl)
+	return m, nil
+}
+
+// TraversalEnergy returns the energy of one flit traversal given the number
+// of input-line and output-line bits that switch. Switching is tracked per
+// physical line during simulation (use CrossbarState).
+func (m *CrossbarModel) TraversalEnergy(switchingInBits, switchingOutBits int) float64 {
+	if switchingInBits < 0 {
+		switchingInBits = 0
+	}
+	if switchingOutBits < 0 {
+		switchingOutBits = 0
+	}
+	if max := m.Config.WidthBits; switchingInBits > max {
+		switchingInBits = max
+	}
+	if max := m.Config.WidthBits; switchingOutBits > max {
+		switchingOutBits = max
+	}
+	return float64(switchingInBits)*m.EInLine + float64(switchingOutBits)*m.EOutLine
+}
+
+// AvgTraversalEnergy returns the traversal energy at the conventional
+// α = 0.5 activity (half the input and output bits switch), used by the
+// fixed-activity ablation.
+func (m *CrossbarModel) AvgTraversalEnergy() float64 {
+	return m.TraversalEnergy(m.Config.WidthBits/2, m.Config.WidthBits/2)
+}
+
+// CtrlEnergy returns E_xb_ctr, the energy of asserting one crosspoint
+// control line. Per the Appendix it is charged once per arbitration grant
+// with no activity factor.
+func (m *CrossbarModel) CtrlEnergy() float64 { return m.ECtrl }
+
+// AreaUm2 returns the switch fabric area assuming a rectangular layout
+// spanned by the input and output lines (Section 4.4).
+func (m *CrossbarModel) AreaUm2() float64 {
+	return m.InLineLenUm * m.OutLineLenUm
+}
+
+// CrossbarState tracks per-line values of one physical crossbar instance,
+// converting traversals into switching counts. Input lines remember the
+// last value driven by each input port; output lines remember the last
+// value delivered to each output port.
+type CrossbarState struct {
+	model *CrossbarModel
+	in    [][]uint64
+	out   [][]uint64
+	inOK  []bool
+	outOK []bool
+}
+
+// NewCrossbarState returns a tracker for one crossbar instance.
+func NewCrossbarState(m *CrossbarModel) *CrossbarState {
+	words := flit.PayloadWords(m.Config.WidthBits)
+	mk := func(n int) [][]uint64 {
+		s := make([][]uint64, n)
+		backing := make([]uint64, n*words)
+		for i := range s {
+			s[i], backing = backing[:words:words], backing[words:]
+		}
+		return s
+	}
+	return &CrossbarState{
+		model: m,
+		in:    mk(m.Config.Inputs),
+		out:   mk(m.Config.Outputs),
+		inOK:  make([]bool, m.Config.Inputs),
+		outOK: make([]bool, m.Config.Outputs),
+	}
+}
+
+// Model returns the underlying capacitance model.
+func (s *CrossbarState) Model() *CrossbarModel { return s.model }
+
+// Traverse records data moving from input port in to output port out and
+// returns the traversal energy. Lines seen for the first time assume all
+// set bits switch.
+func (s *CrossbarState) Traverse(in, out int, data []uint64) (float64, error) {
+	if in < 0 || in >= s.model.Config.Inputs {
+		return 0, fmt.Errorf("power: crossbar input %d out of range [0,%d)", in, s.model.Config.Inputs)
+	}
+	if out < 0 || out >= s.model.Config.Outputs {
+		return 0, fmt.Errorf("power: crossbar output %d out of range [0,%d)", out, s.model.Config.Outputs)
+	}
+	var din, dout int
+	if s.inOK[in] {
+		din = flit.Hamming(s.in[in], data)
+	} else {
+		din = flit.Ones(data)
+		s.inOK[in] = true
+	}
+	if s.outOK[out] {
+		dout = flit.Hamming(s.out[out], data)
+	} else {
+		dout = flit.Ones(data)
+		s.outOK[out] = true
+	}
+	copyInto(&s.in[in], data)
+	copyInto(&s.out[out], data)
+	return s.model.TraversalEnergy(din, dout), nil
+}

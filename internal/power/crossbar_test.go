@@ -1,0 +1,198 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"orion/internal/tech"
+)
+
+func mustCrossbar(t *testing.T, cfg CrossbarConfig) *CrossbarModel {
+	t.Helper()
+	m, err := NewCrossbar(cfg, tech.Default())
+	if err != nil {
+		t.Fatalf("NewCrossbar(%+v): %v", cfg, err)
+	}
+	return m
+}
+
+func paperCrossbar(t *testing.T) *CrossbarModel {
+	// The 5×5 crossbar of the Section 3.3 walkthrough, 32-bit flits.
+	return mustCrossbar(t, CrossbarConfig{Kind: MatrixCrossbar, Inputs: 5, Outputs: 5, WidthBits: 32})
+}
+
+func TestCrossbarKindString(t *testing.T) {
+	if MatrixCrossbar.String() != "matrix" || MuxTreeCrossbar.String() != "muxtree" {
+		t.Error("kind names wrong")
+	}
+	if CrossbarKind(9).String() != "CrossbarKind(9)" {
+		t.Error("unknown kind should format numerically")
+	}
+}
+
+func TestCrossbarConfigValidate(t *testing.T) {
+	bad := []CrossbarConfig{
+		{Kind: CrossbarKind(7), Inputs: 5, Outputs: 5, WidthBits: 32},
+		{Kind: MatrixCrossbar, Inputs: 0, Outputs: 5, WidthBits: 32},
+		{Kind: MatrixCrossbar, Inputs: 5, Outputs: -1, WidthBits: 32},
+		{Kind: MatrixCrossbar, Inputs: 5, Outputs: 5, WidthBits: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := NewCrossbar(cfg, tech.Default()); err == nil {
+			t.Errorf("case %d: accepted invalid config %+v", i, cfg)
+		}
+	}
+}
+
+// TestMatrixCrossbarGeometry checks the Table 3 line lengths: input lines
+// span all output columns (O·W·d_w) and output lines span all input rows.
+func TestMatrixCrossbarGeometry(t *testing.T) {
+	p := tech.Default()
+	m := mustCrossbar(t, CrossbarConfig{Kind: MatrixCrossbar, Inputs: 4, Outputs: 6, WidthBits: 16})
+	wantIn := 6 * 16 * p.XbarPitchUm
+	wantOut := 4 * 16 * p.XbarPitchUm
+	if math.Abs(m.InLineLenUm-wantIn) > 1e-12 {
+		t.Errorf("L_in = %g, want %g", m.InLineLenUm, wantIn)
+	}
+	if math.Abs(m.OutLineLenUm-wantOut) > 1e-12 {
+		t.Errorf("L_out = %g, want %g", m.OutLineLenUm, wantOut)
+	}
+	if m.AreaUm2() != m.InLineLenUm*m.OutLineLenUm {
+		t.Error("area should be the line-length rectangle")
+	}
+}
+
+func TestMatrixCrossbarCapacitances(t *testing.T) {
+	p := tech.Default()
+	m := paperCrossbar(t)
+	inLoad := 5*p.Cd(p.WConnector) + p.Cw(m.InLineLenUm)
+	wantCIn := p.Cd(m.InDriverW) + inLoad
+	if math.Abs(m.CInLine-wantCIn)/wantCIn > 1e-12 {
+		t.Errorf("C_in = %g, want %g", m.CInLine, wantCIn)
+	}
+	outLoad := 5*p.Cd(p.WConnector) + p.Cw(m.OutLineLenUm)
+	wantCOut := outLoad + p.Cg(m.OutDriverW)
+	if math.Abs(m.COutLine-wantCOut)/wantCOut > 1e-12 {
+		t.Errorf("C_out = %g, want %g", m.COutLine, wantCOut)
+	}
+	if m.ECtrl <= 0 {
+		t.Error("control energy must be positive")
+	}
+	if m.CtrlEnergy() != m.ECtrl {
+		t.Error("CtrlEnergy accessor broken")
+	}
+}
+
+func TestCrossbarTraversalEnergyClamping(t *testing.T) {
+	m := paperCrossbar(t)
+	if m.TraversalEnergy(-1, -1) != 0 {
+		t.Error("negative switching should clamp to zero")
+	}
+	if m.TraversalEnergy(1000, 1000) != m.TraversalEnergy(32, 32) {
+		t.Error("switching above width should clamp to width")
+	}
+	if m.AvgTraversalEnergy() != m.TraversalEnergy(16, 16) {
+		t.Error("average traversal should be half-width switching")
+	}
+}
+
+func TestCrossbarEnergyMonotonicInSize(t *testing.T) {
+	small := mustCrossbar(t, CrossbarConfig{Kind: MatrixCrossbar, Inputs: 2, Outputs: 2, WidthBits: 32})
+	big := mustCrossbar(t, CrossbarConfig{Kind: MatrixCrossbar, Inputs: 8, Outputs: 8, WidthBits: 32})
+	if big.EInLine <= small.EInLine || big.EOutLine <= small.EOutLine {
+		t.Error("larger crossbar should have higher per-bit line energy")
+	}
+	wide := mustCrossbar(t, CrossbarConfig{Kind: MatrixCrossbar, Inputs: 5, Outputs: 5, WidthBits: 256})
+	narrow := mustCrossbar(t, CrossbarConfig{Kind: MatrixCrossbar, Inputs: 5, Outputs: 5, WidthBits: 32})
+	if wide.AvgTraversalEnergy() <= narrow.AvgTraversalEnergy() {
+		t.Error("wider datapath should consume more per traversal")
+	}
+}
+
+func TestMuxTreeCrossbar(t *testing.T) {
+	m := mustCrossbar(t, CrossbarConfig{Kind: MuxTreeCrossbar, Inputs: 5, Outputs: 5, WidthBits: 32})
+	if m.TreeDepth != 3 {
+		t.Errorf("tree depth for 5 inputs = %d, want 3", m.TreeDepth)
+	}
+	if m.EInLine <= 0 || m.EOutLine <= 0 || m.ECtrl <= 0 {
+		t.Error("mux tree energies must be positive")
+	}
+	one := mustCrossbar(t, CrossbarConfig{Kind: MuxTreeCrossbar, Inputs: 1, Outputs: 1, WidthBits: 8})
+	if one.TreeDepth != 1 {
+		t.Errorf("tree depth for 1 input = %d, want 1 (clamped)", one.TreeDepth)
+	}
+}
+
+// TestMuxTreeVsMatrix: for a small port count the mux tree avoids the full
+// crosspoint wire spans, making traversal cheaper — the ablation in
+// DESIGN.md.
+func TestMuxTreeVsMatrix(t *testing.T) {
+	cfg := CrossbarConfig{Inputs: 5, Outputs: 5, WidthBits: 256}
+	cfg.Kind = MatrixCrossbar
+	matrix := mustCrossbar(t, cfg)
+	cfg.Kind = MuxTreeCrossbar
+	tree := mustCrossbar(t, cfg)
+	if tree.AvgTraversalEnergy() >= matrix.AvgTraversalEnergy() {
+		t.Errorf("mux tree traversal (%g) should undercut matrix (%g) at 5 ports",
+			tree.AvgTraversalEnergy(), matrix.AvgTraversalEnergy())
+	}
+}
+
+func TestCrossbarStateTracksSwitching(t *testing.T) {
+	m := mustCrossbar(t, CrossbarConfig{Kind: MatrixCrossbar, Inputs: 2, Outputs: 2, WidthBits: 64})
+	s := NewCrossbarState(m)
+	if s.Model() != m {
+		t.Fatal("Model() accessor broken")
+	}
+
+	// First traversal: 4 ones on fresh input and output lines.
+	e0, err := s.Traverse(0, 1, []uint64{0xF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := m.TraversalEnergy(4, 4); math.Abs(e0-want) > 1e-30 {
+		t.Errorf("first traversal = %g, want %g", e0, want)
+	}
+
+	// Same value, same ports: nothing switches.
+	e1, err := s.Traverse(0, 1, []uint64{0xF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != 0 {
+		t.Errorf("identical traversal should be free, got %g", e1)
+	}
+
+	// Same value through the other input to the same output: input line
+	// 1 is fresh (4 ones), output line 1 already carries 0xF (0 switches).
+	e2, err := s.Traverse(1, 1, []uint64{0xF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := m.TraversalEnergy(4, 0); math.Abs(e2-want) > 1e-30 {
+		t.Errorf("cross traversal = %g, want %g", e2, want)
+	}
+}
+
+func TestCrossbarStateRangeChecks(t *testing.T) {
+	s := NewCrossbarState(paperCrossbar(t))
+	if _, err := s.Traverse(-1, 0, nil); err == nil {
+		t.Error("negative input should error")
+	}
+	if _, err := s.Traverse(0, 5, nil); err == nil {
+		t.Error("output out of range should error")
+	}
+}
+
+func TestCrossbarStateEnergyNonNegative(t *testing.T) {
+	m := mustCrossbar(t, CrossbarConfig{Kind: MatrixCrossbar, Inputs: 3, Outputs: 3, WidthBits: 64})
+	s := NewCrossbarState(m)
+	err := quick.Check(func(in, out uint8, v uint64) bool {
+		e, err := s.Traverse(int(in%3), int(out%3), []uint64{v})
+		return err == nil && e >= 0 && e <= m.TraversalEnergy(64, 64)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,29 @@
+// Package power implements Orion's architectural-level parameterized power
+// models (paper Section 3 and Appendix).
+//
+// For each interconnection-network building block — FIFO buffers (Table 2),
+// crossbars (Table 3), arbiters (Table 4), central buffers (Section 3.2),
+// and links — the package derives switch capacitances from architectural
+// parameters (buffer size, flit width, port counts) and technological
+// parameters (cell geometry, per-µm capacitances from internal/tech), and
+// exposes per-operation energies.
+//
+// Dynamic power follows P = E·f_clk with E = ½·α·C·Vdd² (Section 3): the
+// capacitance C comes from the equations here, and the switching activity α
+// is tracked during simulation. Models whose energy is data-dependent
+// (buffer writes, crossbar and link traversals, arbiter request lines)
+// therefore come in two layers:
+//
+//   - a pure *Model with the capacitance equations and per-switch energies,
+//     usable standalone (the paper releases its power models as an
+//     independent library; cmd/orion-power is that tool here), and
+//   - a stateful tracker (e.g. CrossbarState, ArbiterState) that remembers
+//     the last value seen on each line and converts actual values into
+//     switching counts, exactly as Orion derives δ factors "monitored and
+//     calculated through simulation".
+//
+// Hierarchy and reuse (Section 3.2): the central buffer model is composed
+// from the FIFO buffer model (SRAM banks), the flip-flop sub-model from the
+// arbiter model (pipeline registers), and two crossbar models; the queuing
+// arbiter reuses the FIFO buffer model for its request queue.
+package power

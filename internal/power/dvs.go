@@ -1,0 +1,157 @@
+package power
+
+import "fmt"
+
+// Dynamic voltage scaling for links — the first architectural study Orion
+// enabled (Shang, Peh & Jha, "Power-efficient interconnection networks:
+// dynamic voltage scaling with links", cited as [17]): links monitor their
+// utilisation over a history window and step their voltage/frequency down
+// when lightly used, trading latency for link power. The MICRO 2002 paper
+// itself only motivates this direction; the mechanism here is a
+// reproduction-quality extension.
+
+// DVSLevel is one voltage/frequency operating point.
+type DVSLevel struct {
+	// VddScale scales the supply voltage; dynamic energy scales with
+	// its square.
+	VddScale float64
+	// SpeedScale scales the link bandwidth; a link at speed s sends at
+	// most one flit every ⌈1/s⌉ cycles.
+	SpeedScale float64
+}
+
+// DVSConfig parameterises the history-based policy.
+type DVSConfig struct {
+	// Levels are the operating points, fastest first. Level 0 must be
+	// full speed and voltage.
+	Levels []DVSLevel
+	// WindowCycles is the utilisation history window.
+	WindowCycles int64
+	// UpUtil and DownUtil are the step-up/step-down utilisation
+	// thresholds (flits sent per cycle, relative to current speed).
+	UpUtil, DownUtil float64
+}
+
+// DefaultDVSConfig returns a three-level policy similar in spirit to the
+// history windows of [17]: full, 80 % and 60 % voltage, with proportional
+// frequency scaling.
+func DefaultDVSConfig() DVSConfig {
+	return DVSConfig{
+		Levels: []DVSLevel{
+			{VddScale: 1.0, SpeedScale: 1.0},
+			{VddScale: 0.8, SpeedScale: 0.75},
+			{VddScale: 0.6, SpeedScale: 0.5},
+		},
+		WindowCycles: 256,
+		UpUtil:       0.6,
+		DownUtil:     0.25,
+	}
+}
+
+// Validate reports an error for an unusable policy.
+func (c DVSConfig) Validate() error {
+	if len(c.Levels) == 0 {
+		return fmt.Errorf("power: DVS needs at least one level")
+	}
+	if c.Levels[0].VddScale != 1.0 || c.Levels[0].SpeedScale != 1.0 {
+		return fmt.Errorf("power: DVS level 0 must be full speed and voltage, got %+v", c.Levels[0])
+	}
+	for i, l := range c.Levels {
+		if l.VddScale <= 0 || l.VddScale > 1 || l.SpeedScale <= 0 || l.SpeedScale > 1 {
+			return fmt.Errorf("power: DVS level %d scales %+v outside (0,1]", i, l)
+		}
+		if i > 0 && (l.VddScale >= c.Levels[i-1].VddScale || l.SpeedScale > c.Levels[i-1].SpeedScale) {
+			return fmt.Errorf("power: DVS levels must descend, level %d = %+v", i, l)
+		}
+	}
+	if c.WindowCycles <= 0 {
+		return fmt.Errorf("power: DVS window must be positive, got %d", c.WindowCycles)
+	}
+	if c.UpUtil <= c.DownUtil || c.DownUtil < 0 || c.UpUtil > 1 {
+		return fmt.Errorf("power: DVS thresholds must satisfy 0 ≤ down < up ≤ 1, got %g/%g", c.DownUtil, c.UpUtil)
+	}
+	return nil
+}
+
+// DVSController governs one physical link: it counts flits per window,
+// steps the level, and reports the voltage scale (for energy) and send
+// period (for bandwidth throttling).
+type DVSController struct {
+	cfg         DVSConfig
+	level       int
+	windowStart int64
+	flits       int64
+	// residency counts cycles spent at each level, for reporting.
+	residency []int64
+	lastCycle int64
+}
+
+// NewDVSController returns a controller starting at full speed.
+func NewDVSController(cfg DVSConfig) (*DVSController, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &DVSController{cfg: cfg, residency: make([]int64, len(cfg.Levels))}, nil
+}
+
+// advance rolls the utilisation window forward to the given cycle and
+// applies the policy at window boundaries, attributing level residency to
+// the level in force over each segment.
+func (c *DVSController) advance(cycle int64) {
+	for cycle-c.windowStart >= c.cfg.WindowCycles {
+		boundary := c.windowStart + c.cfg.WindowCycles
+		if boundary > c.lastCycle {
+			c.residency[c.level] += boundary - c.lastCycle
+			c.lastCycle = boundary
+		}
+		util := float64(c.flits) / float64(c.cfg.WindowCycles)
+		// Utilisation is measured against the current speed so a
+		// saturated slow link looks busy.
+		util /= c.cfg.Levels[c.level].SpeedScale
+		switch {
+		case util > c.cfg.UpUtil && c.level > 0:
+			c.level--
+		case util < c.cfg.DownUtil && c.level < len(c.cfg.Levels)-1:
+			c.level++
+		}
+		c.windowStart = boundary
+		c.flits = 0
+	}
+	if cycle > c.lastCycle {
+		c.residency[c.level] += cycle - c.lastCycle
+		c.lastCycle = cycle
+	}
+}
+
+// Level returns the operating point in force at the given cycle.
+func (c *DVSController) Level(cycle int64) DVSLevel {
+	c.advance(cycle)
+	return c.cfg.Levels[c.level]
+}
+
+// SendPeriod returns the minimum cycles between flit sends at the given
+// cycle: ⌈1/speed⌉.
+func (c *DVSController) SendPeriod(cycle int64) int64 {
+	s := c.Level(cycle).SpeedScale
+	return int64((1.0 + s - 1e-9) / s) // ceil(1/s) for s in (0,1]
+}
+
+// OnSend records a flit traversal for the utilisation history.
+func (c *DVSController) OnSend(cycle int64) {
+	c.advance(cycle)
+	c.flits++
+}
+
+// EnergyScale returns the factor applied to the link's full-voltage
+// traversal energy at the given cycle (Vdd² scaling).
+func (c *DVSController) EnergyScale(cycle int64) float64 {
+	v := c.Level(cycle).VddScale
+	return v * v
+}
+
+// Residency returns cycles spent at each level so far.
+func (c *DVSController) Residency() []int64 {
+	out := make([]int64, len(c.residency))
+	copy(out, c.residency)
+	return out
+}

@@ -1,0 +1,132 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDVSConfigValidate(t *testing.T) {
+	if err := DefaultDVSConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []DVSConfig{
+		{}, // no levels
+		{Levels: []DVSLevel{{VddScale: 0.8, SpeedScale: 1}}, WindowCycles: 16, UpUtil: 0.5, DownUtil: 0.1},
+		{Levels: []DVSLevel{{1, 1}, {1.2, 0.5}}, WindowCycles: 16, UpUtil: 0.5, DownUtil: 0.1},
+		{Levels: []DVSLevel{{1, 1}, {0.9, 0.9}, {0.95, 0.5}}, WindowCycles: 16, UpUtil: 0.5, DownUtil: 0.1},
+		{Levels: []DVSLevel{{1, 1}}, WindowCycles: 0, UpUtil: 0.5, DownUtil: 0.1},
+		{Levels: []DVSLevel{{1, 1}}, WindowCycles: 16, UpUtil: 0.1, DownUtil: 0.5},
+		{Levels: []DVSLevel{{1, 1}, {0.5, -0.1}}, WindowCycles: 16, UpUtil: 0.5, DownUtil: 0.1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid DVS config accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := NewDVSController(DVSConfig{}); err == nil {
+		t.Error("NewDVSController should validate")
+	}
+}
+
+func TestDVSControllerStepsDownWhenIdle(t *testing.T) {
+	cfg := DefaultDVSConfig()
+	cfg.WindowCycles = 100
+	c, err := NewDVSController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full speed initially.
+	if got := c.Level(0); got.VddScale != 1.0 {
+		t.Fatalf("initial level = %+v", got)
+	}
+	if c.SendPeriod(0) != 1 {
+		t.Fatalf("full-speed period = %d", c.SendPeriod(0))
+	}
+	if c.EnergyScale(0) != 1.0 {
+		t.Fatalf("full-voltage energy scale = %g", c.EnergyScale(0))
+	}
+	// No traffic for one window: one step down.
+	if got := c.Level(100).VddScale; got != 0.8 {
+		t.Errorf("after idle window level Vdd = %g, want 0.8", got)
+	}
+	// Another idle window: bottom level.
+	if got := c.Level(200).VddScale; got != 0.6 {
+		t.Errorf("after two idle windows Vdd = %g, want 0.6", got)
+	}
+	// Stays at the bottom.
+	if got := c.Level(500).VddScale; got != 0.6 {
+		t.Errorf("bottom level should hold, got %g", got)
+	}
+	if got := c.EnergyScale(500); math.Abs(got-0.36) > 1e-12 {
+		t.Errorf("bottom energy scale = %g, want 0.36", got)
+	}
+	if got := c.SendPeriod(500); got != 2 {
+		t.Errorf("half-speed period = %d, want 2", got)
+	}
+}
+
+func TestDVSControllerStepsUpUnderLoad(t *testing.T) {
+	cfg := DefaultDVSConfig()
+	cfg.WindowCycles = 100
+	c, err := NewDVSController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop to the bottom.
+	c.Level(200)
+	if c.Level(200).SpeedScale != 0.5 {
+		t.Fatal("setup failed")
+	}
+	// Saturate the slow link: 1 flit every 2 cycles = util 0.5/0.5 = 1.
+	for cy := int64(200); cy < 300; cy += 2 {
+		c.OnSend(cy)
+	}
+	if got := c.Level(300).VddScale; got != 0.8 {
+		t.Errorf("after busy window Vdd = %g, want step up to 0.8", got)
+	}
+	for cy := int64(300); cy < 400; cy++ {
+		c.OnSend(cy)
+	}
+	if got := c.Level(400).VddScale; got != 1.0 {
+		t.Errorf("after full-rate window Vdd = %g, want 1.0", got)
+	}
+}
+
+func TestDVSControllerResidency(t *testing.T) {
+	cfg := DefaultDVSConfig()
+	cfg.WindowCycles = 100
+	c, err := NewDVSController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Level(250) // idle: level 0 for 100, level 1 for 100, level 2 for 50
+	res := c.Residency()
+	if len(res) != 3 {
+		t.Fatalf("residency has %d entries", len(res))
+	}
+	var total int64
+	for _, r := range res {
+		total += r
+	}
+	if total != 250 {
+		t.Errorf("residency sums to %d, want 250", total)
+	}
+	if res[0] != 100 {
+		t.Errorf("level 0 residency = %d, want 100", res[0])
+	}
+}
+
+func TestDVSSendPeriodCeil(t *testing.T) {
+	cfg := DVSConfig{
+		Levels:       []DVSLevel{{1, 1}, {0.8, 0.34}},
+		WindowCycles: 10, UpUtil: 0.9, DownUtil: 0.2,
+	}
+	c, err := NewDVSController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Level(20) // idle → slow level
+	if got := c.SendPeriod(20); got != 3 {
+		t.Errorf("period at speed 0.34 = %d, want ceil(1/0.34)=3", got)
+	}
+}

@@ -1,0 +1,57 @@
+package power
+
+import "orion/internal/tech"
+
+// FlipFlopModel is the flip-flop sub-component model used by the arbiter
+// priority matrix (Table 4) and reused for the central buffer's pipeline
+// registers (Section 3.2: "the flip-flop subcomponent models from our
+// arbiter model for the pipeline registers").
+//
+// A flip-flop is modelled as a pair of cross-coupled inverters behind a
+// clocked pass gate: the clock network switches every latch event, and the
+// internal storage node switches only when the stored bit changes.
+type FlipFlopModel struct {
+	Tech tech.Params
+
+	// CClock is the clock-input capacitance (pass-gate gates).
+	CClock float64
+	// CNode is the storage-node capacitance (both inverter gates plus
+	// drains and the pass-gate drain).
+	CNode float64
+
+	// EClock is the energy per clocking event (J).
+	EClock float64
+	// EToggle is the additional energy when the stored bit flips (J).
+	EToggle float64
+}
+
+// NewFlipFlop derives the flip-flop model from the technology parameters.
+func NewFlipFlop(t tech.Params) (*FlipFlopModel, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	m := &FlipFlopModel{Tech: t}
+	w := t.WFlipFlop
+	// Two pass-gate transistor gates on the clock.
+	m.CClock = 2 * t.Cg(w)
+	// Storage node: two inverter gate+drain pairs plus one pass drain.
+	m.CNode = 2*t.Ca(w) + t.Cd(w)
+	m.EClock = t.EnergyPerSwitch(m.CClock)
+	m.EToggle = t.EnergyPerSwitch(m.CNode)
+	return m, nil
+}
+
+// LatchEnergy returns the energy of clocking `bits` flip-flops of which
+// `toggles` change state.
+func (m *FlipFlopModel) LatchEnergy(bits, toggles int) float64 {
+	if bits < 0 {
+		bits = 0
+	}
+	if toggles < 0 {
+		toggles = 0
+	}
+	if toggles > bits {
+		toggles = bits
+	}
+	return float64(bits)*m.EClock + float64(toggles)*m.EToggle
+}

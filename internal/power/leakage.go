@@ -1,0 +1,89 @@
+package power
+
+// Leakage (static power) estimation — an extension beyond the MICRO 2002
+// paper, which models dynamic power only; its successors (Orion 2.0) added
+// leakage. Each component model reports its total transistor width; static
+// power is tech.StaticPower(width) = I_off(width)·Vdd. Widths are
+// first-order device counts times the model's configured transistor sizes.
+
+// LeakageWidthUm returns the buffer array's total transistor width: 6T
+// cells (two pass transistors per port pair plus the cross-coupled
+// inverters), per-column precharge and write drivers, and per-row wordline
+// drivers.
+func (m *BufferModel) LeakageWidthUm() float64 {
+	B := float64(m.Config.Flits)
+	F := float64(m.Config.FlitBits)
+	ports := float64(m.Config.ReadPorts + m.Config.WritePorts)
+	t := m.Tech
+
+	cells := B * F * (2*ports*t.WPass + 4*t.WCellInv)
+	columns := F * (2*t.WPrecharge + m.BitlineDriverW)
+	rows := B * m.WordlineDriverW
+	return cells + columns + rows
+}
+
+// LeakageWidthUm returns the crossbar's total transistor width: one
+// connector per crosspoint per bit plus the input and output drivers.
+func (m *CrossbarModel) LeakageWidthUm() float64 {
+	I := float64(m.Config.Inputs)
+	O := float64(m.Config.Outputs)
+	W := float64(m.Config.WidthBits)
+	t := m.Tech
+
+	crosspoints := I * O * W * t.WConnector
+	drivers := I*W*m.InDriverW + O*W*m.OutDriverW
+	return crosspoints + drivers
+}
+
+// LeakageWidthUm returns the arbiter's total transistor width: the two
+// NOR levels per requester pair, the grant inverters, and the priority
+// storage flip-flops (plus the request FIFO for queuing arbiters).
+func (m *ArbiterModel) LeakageWidthUm() float64 {
+	R := float64(m.Config.Requesters)
+	t := m.Tech
+
+	gates := R*(R-1)*2*t.WNor + R*t.WInv
+	ff := float64(m.PriorityBits()) * 6 * t.WFlipFlop
+	w := gates + ff
+	if m.Queue != nil {
+		w += m.Queue.LeakageWidthUm()
+	}
+	return w
+}
+
+// LeakageWidthUm returns the central buffer's total transistor width,
+// composed hierarchically from its banks, crossbars and pipeline
+// registers.
+func (m *CentralBufferModel) LeakageWidthUm() float64 {
+	w := float64(m.Config.Banks) * m.Bank.LeakageWidthUm()
+	w += m.InXbar.LeakageWidthUm() + m.OutXbar.LeakageWidthUm()
+	// One FlitBits-wide register stage per fabric port on each side.
+	regBits := float64((m.Config.ReadPorts + m.Config.WritePorts) * m.Config.FlitBits)
+	w += regBits * 6 * m.Tech.WFlipFlop
+	return w
+}
+
+// LeakageWidthUm returns the link drivers' total width: on-chip links are
+// driven by repeaters sized for the wire; chip-to-chip links report zero
+// (their constant datasheet power subsumes everything).
+func (m *LinkModel) LeakageWidthUm() float64 {
+	if m.Config.Kind != OnChipLink {
+		return 0
+	}
+	return float64(m.Config.WidthBits) * m.Tech.DriverWidth(m.CWire)
+}
+
+// StaticPowerW returns the component's leakage power in watts.
+func (m *BufferModel) StaticPowerW() float64 { return m.Tech.StaticPower(m.LeakageWidthUm()) }
+
+// StaticPowerW returns the component's leakage power in watts.
+func (m *CrossbarModel) StaticPowerW() float64 { return m.Tech.StaticPower(m.LeakageWidthUm()) }
+
+// StaticPowerW returns the component's leakage power in watts.
+func (m *ArbiterModel) StaticPowerW() float64 { return m.Tech.StaticPower(m.LeakageWidthUm()) }
+
+// StaticPowerW returns the component's leakage power in watts.
+func (m *CentralBufferModel) StaticPowerW() float64 { return m.Tech.StaticPower(m.LeakageWidthUm()) }
+
+// StaticPowerW returns the component's leakage power in watts.
+func (m *LinkModel) StaticPowerW() float64 { return m.Tech.StaticPower(m.LeakageWidthUm()) }

@@ -1,0 +1,124 @@
+package power
+
+import (
+	"testing"
+
+	"orion/internal/tech"
+)
+
+func TestStaticPowerBasics(t *testing.T) {
+	p := tech.Default()
+	if p.StaticPower(0) != 0 || p.StaticPower(-5) != 0 {
+		t.Error("non-positive width should leak nothing")
+	}
+	// 1000 µm at 20 nA/µm and 1.2 V = 24 µW.
+	got := p.StaticPower(1000)
+	want := 1000 * 20e-9 * 1.2
+	if got != want {
+		t.Errorf("StaticPower(1000) = %g, want %g", got, want)
+	}
+}
+
+func TestBufferLeakageScalesWithSize(t *testing.T) {
+	p := tech.Default()
+	small, err := NewBuffer(BufferConfig{Flits: 8, FlitBits: 32, ReadPorts: 1, WritePorts: 1}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewBuffer(BufferConfig{Flits: 64, FlitBits: 256, ReadPorts: 1, WritePorts: 1}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.LeakageWidthUm() <= 0 {
+		t.Fatal("leakage width must be positive")
+	}
+	// 64× the cells: leakage should grow by well over an order of
+	// magnitude (cell-dominated).
+	if big.StaticPowerW() < 20*small.StaticPowerW() {
+		t.Errorf("big buffer leakage %g should dwarf small %g",
+			big.StaticPowerW(), small.StaticPowerW())
+	}
+}
+
+func TestCrossbarLeakage(t *testing.T) {
+	p := tech.Default()
+	m, err := NewCrossbar(CrossbarConfig{Kind: MatrixCrossbar, Inputs: 5, Outputs: 5, WidthBits: 64}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.StaticPowerW() <= 0 {
+		t.Error("crossbar leakage must be positive")
+	}
+	wide, err := NewCrossbar(CrossbarConfig{Kind: MatrixCrossbar, Inputs: 5, Outputs: 5, WidthBits: 256}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.StaticPowerW() <= m.StaticPowerW() {
+		t.Error("wider crossbar should leak more")
+	}
+}
+
+func TestArbiterLeakageIncludesQueue(t *testing.T) {
+	p := tech.Default()
+	matrix, err := NewArbiter(ArbiterConfig{Kind: MatrixArbiter, Requesters: 4}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queuing, err := NewArbiter(ArbiterConfig{Kind: QueuingArbiter, Requesters: 4}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matrix.StaticPowerW() <= 0 {
+		t.Error("matrix arbiter leakage must be positive")
+	}
+	if queuing.StaticPowerW() <= matrix.LeakageWidthUm()*0 {
+		// queuing adds the FIFO's cells
+		if queuing.LeakageWidthUm() <= matrix.LeakageWidthUm()-float64(matrix.PriorityBits())*6*p.WFlipFlop {
+			t.Error("queuing arbiter should include its FIFO leakage")
+		}
+	}
+}
+
+func TestCentralBufferLeakageHierarchy(t *testing.T) {
+	p := tech.Default()
+	cb, err := NewCentralBuffer(CentralBufferConfig{
+		Banks: 4, Rows: 64, FlitBits: 32, ReadPorts: 2, WritePorts: 2}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	banksOnly := 4 * cb.Bank.LeakageWidthUm()
+	if cb.LeakageWidthUm() <= banksOnly {
+		t.Error("central buffer leakage should include crossbars and registers")
+	}
+}
+
+func TestLinkLeakage(t *testing.T) {
+	p := tech.Default()
+	on, err := NewLink(LinkConfig{Kind: OnChipLink, WidthBits: 64, LengthUm: 3000}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.StaticPowerW() <= 0 {
+		t.Error("on-chip link drivers should leak")
+	}
+	off, err := NewLink(LinkConfig{Kind: ChipToChipLink, WidthBits: 64, ConstantWatts: 3}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.StaticPowerW() != 0 {
+		t.Error("chip-to-chip link leakage is subsumed by its constant power")
+	}
+}
+
+func TestLeakageScalingWithFeatureSize(t *testing.T) {
+	p := tech.Default()
+	scaled, err := p.Scaled(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leakage per µm doubles when the channel halves.
+	if scaled.LeakageNAPerUm <= p.LeakageNAPerUm {
+		t.Errorf("smaller process should leak more per µm: %g vs %g",
+			scaled.LeakageNAPerUm, p.LeakageNAPerUm)
+	}
+}

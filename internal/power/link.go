@@ -1,0 +1,166 @@
+package power
+
+import (
+	"fmt"
+
+	"orion/internal/flit"
+	"orion/internal/tech"
+)
+
+// LinkKind distinguishes the two link power behaviours the paper contrasts
+// (Section 4.4: "chip-to-chip high-speed links whose power dissipation is
+// traffic-insensitive, and on-chip links whose power consumption depends
+// heavily on traffic").
+type LinkKind int
+
+const (
+	// OnChipLink is a capacitive wire: energy per traversal is
+	// proportional to the bits that switch.
+	OnChipLink LinkKind = iota
+	// ChipToChipLink is a high-speed differential link consuming
+	// constant power regardless of activity, taken from a datasheet
+	// (the paper uses 3 W for a 32 Gb/s link, per the IBM InfiniBand
+	// 12X link).
+	ChipToChipLink
+)
+
+// String implements fmt.Stringer.
+func (k LinkKind) String() string {
+	switch k {
+	case OnChipLink:
+		return "onchip"
+	case ChipToChipLink:
+		return "chip-to-chip"
+	default:
+		return fmt.Sprintf("LinkKind(%d)", int(k))
+	}
+}
+
+// LinkConfig holds the parameters of a link power model.
+type LinkConfig struct {
+	// Kind selects the behaviour.
+	Kind LinkKind
+	// WidthBits is the link datapath width.
+	WidthBits int
+	// LengthUm is the wire length for on-chip links (e.g. 3000 µm for
+	// the paper's 3 mm 4×4 torus on a 12 mm × 12 mm chip).
+	LengthUm float64
+	// ConstantWatts is the traffic-insensitive power of a chip-to-chip
+	// link (e.g. 3 W).
+	ConstantWatts float64
+}
+
+// Validate reports an error for a non-physical configuration.
+func (c LinkConfig) Validate() error {
+	switch c.Kind {
+	case OnChipLink:
+		if c.WidthBits <= 0 {
+			return fmt.Errorf("power: link width must be positive, got %d", c.WidthBits)
+		}
+		if c.LengthUm <= 0 {
+			return fmt.Errorf("power: on-chip link length must be positive, got %g", c.LengthUm)
+		}
+	case ChipToChipLink:
+		if c.WidthBits <= 0 {
+			return fmt.Errorf("power: link width must be positive, got %d", c.WidthBits)
+		}
+		if c.ConstantWatts < 0 {
+			return fmt.Errorf("power: chip-to-chip link power must be non-negative, got %g", c.ConstantWatts)
+		}
+	default:
+		return fmt.Errorf("power: unknown link kind %d", int(c.Kind))
+	}
+	return nil
+}
+
+// LinkModel computes link traversal energy. For on-chip links the per-bit
+// wire capacitance comes from the technology wire coefficient; the paper's
+// 1.08 pF / 3 mm is reproduced exactly by the default technology.
+type LinkModel struct {
+	Config LinkConfig
+	Tech   tech.Params
+
+	// CWire is the capacitance of one bit line (F); zero for
+	// chip-to-chip links.
+	CWire float64
+	// EBit is the energy per switching bit (J); zero for chip-to-chip
+	// links.
+	EBit float64
+}
+
+// NewLink derives the link power model from its configuration.
+func NewLink(cfg LinkConfig, t tech.Params) (*LinkModel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	m := &LinkModel{Config: cfg, Tech: t}
+	if cfg.Kind == OnChipLink {
+		m.CWire = t.Cw(cfg.LengthUm)
+		m.EBit = t.EnergyPerSwitch(m.CWire)
+	}
+	return m, nil
+}
+
+// TraversalEnergy returns the dynamic energy of one flit traversal given
+// the number of switching bits. Chip-to-chip links dissipate no
+// data-dependent energy; their constant power is reported by
+// ConstantPower.
+func (m *LinkModel) TraversalEnergy(switchingBits int) float64 {
+	if switchingBits < 0 {
+		switchingBits = 0
+	}
+	if switchingBits > m.Config.WidthBits {
+		switchingBits = m.Config.WidthBits
+	}
+	return float64(switchingBits) * m.EBit
+}
+
+// AvgTraversalEnergy returns the traversal energy at α = 0.5 (half the
+// bits switch), for the fixed-activity ablation.
+func (m *LinkModel) AvgTraversalEnergy() float64 {
+	return m.TraversalEnergy(m.Config.WidthBits / 2)
+}
+
+// ConstantPower returns the traffic-insensitive power in watts (zero for
+// on-chip links).
+func (m *LinkModel) ConstantPower() float64 {
+	if m.Config.Kind == ChipToChipLink {
+		return m.Config.ConstantWatts
+	}
+	return 0
+}
+
+// LinkState tracks the last value driven onto one physical link so
+// traversal energy uses real bit switching.
+type LinkState struct {
+	model *LinkModel
+	last  []uint64
+	warm  bool
+}
+
+// NewLinkState returns a tracker for one link instance.
+func NewLinkState(m *LinkModel) *LinkState {
+	return &LinkState{
+		model: m,
+		last:  make([]uint64, flit.PayloadWords(m.Config.WidthBits)),
+	}
+}
+
+// Model returns the underlying capacitance model.
+func (s *LinkState) Model() *LinkModel { return s.model }
+
+// Traverse records a flit crossing the link and returns its energy.
+func (s *LinkState) Traverse(data []uint64) float64 {
+	var d int
+	if s.warm {
+		d = flit.Hamming(s.last, data)
+	} else {
+		d = flit.Ones(data)
+		s.warm = true
+	}
+	copyInto(&s.last, data)
+	return s.model.TraversalEnergy(d)
+}

@@ -1,0 +1,363 @@
+package router
+
+import (
+	"fmt"
+
+	"orion/internal/flit"
+	"orion/internal/sim"
+)
+
+// cbEntry is one flit stored in the central buffer.
+type cbEntry struct {
+	f          *flit.Flit
+	bank       int
+	writeCycle int64
+}
+
+// cbPacket is one packet's record in an output queue. Flits are read
+// strictly in order and a packet is read contiguously (wormhole ordering on
+// the outgoing link); the next packet starts only after this one's tail.
+type cbPacket struct {
+	entries  fifo[cbEntry]
+	complete bool
+	inPort   int
+}
+
+// CBRouter is the central-buffered router of Section 4.4: a shared
+// pipelined memory forwards flits between input and output ports. Its
+// throughput is bounded by the central buffer's fabric ports (2 reads + 2
+// writes per cycle in the paper's configuration, versus the 5 concurrent
+// traversals of a 5×5 crossbar), but packets destined for different
+// outputs never block one another at an input ("packets from the same
+// input port need not line up behind one another").
+type CBRouter struct {
+	name string
+	node int
+	cfg  Config
+	bus  *sim.Bus
+
+	inQ      []fifo[*flit.Flit]
+	curWrite []*cbPacket
+
+	inData  []*sim.Wire[*flit.Flit]
+	inCred  []*sim.Wire[flit.Credit]
+	outData []*sim.Wire[*flit.Flit]
+	outCred []*sim.Wire[flit.Credit]
+
+	outCredits  []int
+	outInfinite []bool
+
+	outQ     []fifo[*cbPacket]
+	capacity int
+	used     int
+	bankNext int
+
+	writePick []picker // one per write port
+	readPick  []picker // one per read port
+
+	govs    []OutputGovernor
+	outFree []int64
+}
+
+var _ Router = (*CBRouter)(nil)
+
+// NewCB returns a central-buffered router for the given node.
+func NewCB(node int, cfg Config, bus *sim.Bus) (*CBRouter, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Kind != CentralBuffered {
+		return nil, fmt.Errorf("router: NewCB cannot build a %s router", cfg.Kind)
+	}
+	if bus == nil {
+		return nil, fmt.Errorf("router: event bus is required")
+	}
+	if cfg.Ports > 64 {
+		return nil, fmt.Errorf("router: central-buffered router supports at most 64 ports, got %d", cfg.Ports)
+	}
+	r := &CBRouter{
+		name:        fmt.Sprintf("router%d(central-buffered)", node),
+		node:        node,
+		cfg:         cfg,
+		bus:         bus,
+		inQ:         make([]fifo[*flit.Flit], cfg.Ports),
+		curWrite:    make([]*cbPacket, cfg.Ports),
+		inData:      make([]*sim.Wire[*flit.Flit], cfg.Ports),
+		inCred:      make([]*sim.Wire[flit.Credit], cfg.Ports),
+		outData:     make([]*sim.Wire[*flit.Flit], cfg.Ports),
+		outCred:     make([]*sim.Wire[flit.Credit], cfg.Ports),
+		outCredits:  make([]int, cfg.Ports),
+		outInfinite: make([]bool, cfg.Ports),
+		outQ:        make([]fifo[*cbPacket], cfg.Ports),
+		capacity:    cfg.CBBanks * cfg.CBRows,
+		writePick:   make([]picker, cfg.CBWritePorts),
+		readPick:    make([]picker, cfg.CBReadPorts),
+		govs:        make([]OutputGovernor, cfg.Ports),
+		outFree:     make([]int64, cfg.Ports),
+	}
+	for i := range r.writePick {
+		r.writePick[i] = picker{n: cfg.Ports}
+	}
+	for i := range r.readPick {
+		r.readPick[i] = picker{n: cfg.Ports}
+	}
+	return r, nil
+}
+
+// SetGovernor implements Router.
+func (r *CBRouter) SetGovernor(port int, gov OutputGovernor) error {
+	if port < 0 || port >= r.cfg.Ports {
+		return fmt.Errorf("router: governor port %d out of range [0,%d)", port, r.cfg.Ports)
+	}
+	r.govs[port] = gov
+	return nil
+}
+
+// Name implements sim.Module.
+func (r *CBRouter) Name() string { return r.name }
+
+// Config implements Router.
+func (r *CBRouter) Config() Config { return r.cfg }
+
+// Node returns the router's node index.
+func (r *CBRouter) Node() int { return r.node }
+
+// AttachInput implements Router.
+func (r *CBRouter) AttachInput(port int, data *sim.Wire[*flit.Flit], credit *sim.Wire[flit.Credit]) error {
+	if port < 0 || port >= r.cfg.Ports {
+		return fmt.Errorf("router: input port %d out of range [0,%d)", port, r.cfg.Ports)
+	}
+	r.inData[port] = data
+	r.inCred[port] = credit
+	return nil
+}
+
+// AttachOutput implements Router.
+func (r *CBRouter) AttachOutput(port int, data *sim.Wire[*flit.Flit], credit *sim.Wire[flit.Credit], downstreamCredits int, infinite bool) error {
+	if port < 0 || port >= r.cfg.Ports {
+		return fmt.Errorf("router: output port %d out of range [0,%d)", port, r.cfg.Ports)
+	}
+	r.outData[port] = data
+	r.outCred[port] = credit
+	r.outCredits[port] = downstreamCredits
+	r.outInfinite[port] = infinite
+	return nil
+}
+
+// BufferedFlits returns flits held in input buffers plus the central
+// buffer.
+func (r *CBRouter) BufferedFlits() int {
+	n := r.used
+	for p := range r.inQ {
+		n += r.inQ[p].len()
+	}
+	return n
+}
+
+// Tick implements sim.Module: read allocation (CB → links), write
+// allocation (input buffers → CB), then receive. A flit therefore takes
+// three stages through the router: input buffer write at cycle t, central
+// buffer write at t+1, central buffer read and link at t+2.
+func (r *CBRouter) Tick(cycle int64) error {
+	if err := r.readStage(cycle); err != nil {
+		return err
+	}
+	if err := r.writeStage(cycle); err != nil {
+		return err
+	}
+	return r.receive(cycle)
+}
+
+func (r *CBRouter) receive(cycle int64) error {
+	for p := 0; p < r.cfg.Ports; p++ {
+		if w := r.outCred[p]; w != nil {
+			if _, ok := w.Take(); ok {
+				r.outCredits[p]++
+			}
+		}
+		if w := r.inData[p]; w != nil {
+			if f, ok := w.Take(); ok {
+				if r.inQ[p].len() >= r.cfg.BufferDepth {
+					return fmt.Errorf("cb router %d: input %d overflow: flow control violated by %v", r.node, p, f)
+				}
+				r.inQ[p].push(f)
+				r.bus.Publish(&sim.Event{
+					Type: sim.EvBufferWrite, Cycle: cycle, Node: r.node,
+					Port: p, VC: 0, Data: f.Payload,
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// readable returns the next flit an output could send this cycle, or nil.
+func (r *CBRouter) readable(o int, cycle int64) *cbEntry {
+	if r.outFree[o] > cycle {
+		return nil // link throttled (e.g. DVS at reduced frequency)
+	}
+	pkt, ok := r.outQ[o].front()
+	if !ok {
+		return nil
+	}
+	e, ok := pkt.entries.front()
+	if !ok || e.writeCycle >= cycle {
+		return nil
+	}
+	if r.outInfinite[o] {
+		return &e
+	}
+	need := 1
+	if e.f.Kind.IsHead() && r.cfg.Bubble {
+		need = r.cfg.bubbleCredits(pkt.inPort, o, e.f)
+	}
+	if r.outCredits[o] < need {
+		return nil
+	}
+	return &e
+}
+
+// readStage allocates the central buffer's read ports among output ports
+// and forwards the granted flits onto their links.
+func (r *CBRouter) readStage(cycle int64) error {
+	var req uint64
+	for o := 0; o < r.cfg.Ports; o++ {
+		if r.readable(o, cycle) != nil {
+			req |= 1 << uint(o)
+		}
+	}
+	for rp := 0; rp < r.cfg.CBReadPorts && req != 0; rp++ {
+		o := r.readPick[rp].pick(req)
+		r.bus.Publish(&sim.Event{
+			Type: sim.EvArbitration, Cycle: cycle, Node: r.node,
+			Stage: sim.StageOutput, Port: rp, ReqVector: req, Winner: o,
+		})
+		if o < 0 {
+			break
+		}
+		req &^= 1 << uint(o)
+
+		pkt, _ := r.outQ[o].front()
+		e, _ := pkt.entries.pop()
+		r.used--
+		r.bus.Publish(&sim.Event{
+			Type: sim.EvCentralBufRead, Cycle: cycle, Node: r.node,
+			Port: e.bank, OutPort: rp, Data: e.f.Payload,
+		})
+		if !r.outInfinite[o] {
+			r.outCredits[o]--
+		}
+
+		f := e.f
+		f.VC = 0
+		if o != r.cfg.Ports-1 { // not the ejection port
+			f.Hop++
+			r.bus.Publish(&sim.Event{
+				Type: sim.EvLinkTraversal, Cycle: cycle, Node: r.node,
+				Port: o, Data: f.Payload,
+			})
+			if gov := r.govs[o]; gov != nil {
+				gov.OnSend(cycle)
+				r.outFree[o] = cycle + gov.SendPeriod(cycle)
+			}
+		}
+		w := r.outData[o]
+		if w == nil {
+			return fmt.Errorf("cb router %d: output %d has no wire", r.node, o)
+		}
+		if err := w.Send(f); err != nil {
+			return err
+		}
+		if f.Kind.IsTail() {
+			if !pkt.complete || pkt.entries.len() != 0 {
+				return fmt.Errorf("cb router %d: tail read from incomplete packet record", r.node)
+			}
+			r.outQ[o].pop()
+		}
+	}
+	return nil
+}
+
+// writeStage allocates the central buffer's write ports among input ports
+// and moves the granted flits from input buffers into the central buffer.
+func (r *CBRouter) writeStage(cycle int64) error {
+	var req uint64
+	for p := 0; p < r.cfg.Ports; p++ {
+		if r.writable(p) {
+			req |= 1 << uint(p)
+		}
+	}
+	for wp := 0; wp < r.cfg.CBWritePorts && req != 0; wp++ {
+		p := r.writePick[wp].pick(req)
+		r.bus.Publish(&sim.Event{
+			Type: sim.EvArbitration, Cycle: cycle, Node: r.node,
+			Stage: sim.StageInput, Port: wp, ReqVector: req, Winner: p,
+		})
+		if p < 0 {
+			break
+		}
+		req &^= 1 << uint(p)
+
+		f, _ := r.inQ[p].pop()
+		r.bus.Publish(&sim.Event{
+			Type: sim.EvBufferRead, Cycle: cycle, Node: r.node,
+			Port: p, VC: 0,
+		})
+		if w := r.inCred[p]; w != nil {
+			if err := w.Send(flit.Credit{VC: 0}); err != nil {
+				return err
+			}
+		}
+
+		outPort, err := f.OutputPort()
+		if err != nil {
+			return err
+		}
+		if outPort < 0 || outPort >= r.cfg.Ports {
+			return fmt.Errorf("cb router %d: flit %v routes to invalid port %d", r.node, f, outPort)
+		}
+
+		var pkt *cbPacket
+		if f.Kind.IsHead() {
+			pkt = &cbPacket{inPort: p}
+			r.curWrite[p] = pkt
+			r.outQ[outPort].push(pkt)
+		} else {
+			pkt = r.curWrite[p]
+			if pkt == nil {
+				return fmt.Errorf("cb router %d: %v has no open packet record", r.node, f)
+			}
+		}
+		bank := r.bankNext
+		r.bankNext = (r.bankNext + 1) % r.cfg.CBBanks
+		pkt.entries.push(cbEntry{f: f, bank: bank, writeCycle: cycle})
+		r.used++
+		r.bus.Publish(&sim.Event{
+			Type: sim.EvCentralBufWrite, Cycle: cycle, Node: r.node,
+			Port: wp, OutPort: bank, Data: f.Payload,
+		})
+		if f.Kind.IsTail() {
+			pkt.complete = true
+			r.curWrite[p] = nil
+		}
+	}
+	return nil
+}
+
+// writable reports whether input port p can move its front flit into the
+// central buffer this cycle: heads require space for the whole packet
+// (virtual cut-through admission), other flits one slot.
+func (r *CBRouter) writable(p int) bool {
+	f, ok := r.inQ[p].front()
+	if !ok {
+		return false
+	}
+	if f.Kind.IsHead() {
+		need := 1
+		if f.Packet != nil && f.Packet.Length > 0 {
+			need = f.Packet.Length
+		}
+		return r.capacity-r.used >= need
+	}
+	return r.used < r.capacity
+}

@@ -1,0 +1,160 @@
+package router
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPickerRoundRobin(t *testing.T) {
+	p := picker{n: 4}
+	// All requesting: grants rotate 0,1,2,3,0...
+	seq := []int{}
+	for i := 0; i < 6; i++ {
+		seq = append(seq, p.pick(0b1111))
+	}
+	want := []int{0, 1, 2, 3, 0, 1}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("round robin sequence = %v, want %v", seq, want)
+		}
+	}
+}
+
+func TestPickerSkipsNonRequesters(t *testing.T) {
+	p := picker{n: 4}
+	if got := p.pick(0b1000); got != 3 {
+		t.Errorf("pick(1000b) = %d, want 3", got)
+	}
+	// Pointer is now 0; 0 not requesting, 2 is.
+	if got := p.pick(0b0100); got != 2 {
+		t.Errorf("pick(0100b) = %d, want 2", got)
+	}
+	if got := p.pick(0); got != -1 {
+		t.Errorf("pick(0) = %d, want -1", got)
+	}
+}
+
+func TestPickerDegenerate(t *testing.T) {
+	p := picker{n: 0}
+	if p.pick(1) != -1 {
+		t.Error("zero-width picker should never grant")
+	}
+	q := picker{n: 65}
+	if q.pick(1) != -1 {
+		t.Error("over-wide picker should never grant")
+	}
+	one := picker{n: 1}
+	if one.pick(1) != 0 || one.pick(1) != 0 {
+		t.Error("single-requester picker should always grant 0")
+	}
+}
+
+func TestPickerAlwaysGrantsARequester(t *testing.T) {
+	p := picker{n: 8}
+	err := quick.Check(func(req uint8) bool {
+		w := p.pick(uint64(req))
+		if req == 0 {
+			return w == -1
+		}
+		return w >= 0 && w < 8 && req&(1<<uint(w)) != 0
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPickerFairness: under continuous full contention every requester is
+// served equally.
+func TestPickerFairness(t *testing.T) {
+	p := picker{n: 5}
+	counts := make([]int, 5)
+	for i := 0; i < 500; i++ {
+		counts[p.pick(0b11111)]++
+	}
+	for i, c := range counts {
+		if c != 100 {
+			t.Errorf("requester %d granted %d times, want 100", i, c)
+		}
+	}
+}
+
+func TestFifoBasics(t *testing.T) {
+	var f fifo[int]
+	if f.len() != 0 {
+		t.Fatal("new fifo should be empty")
+	}
+	if _, ok := f.front(); ok {
+		t.Fatal("front of empty fifo")
+	}
+	if _, ok := f.pop(); ok {
+		t.Fatal("pop of empty fifo")
+	}
+	f.push(1)
+	f.push(2)
+	if v, ok := f.front(); !ok || v != 1 {
+		t.Fatalf("front = %d,%v", v, ok)
+	}
+	if v, _ := f.pop(); v != 1 {
+		t.Fatal("pop order wrong")
+	}
+	if v, _ := f.pop(); v != 2 {
+		t.Fatal("pop order wrong")
+	}
+	if f.len() != 0 {
+		t.Fatal("fifo should be empty again")
+	}
+}
+
+func TestFifoCompaction(t *testing.T) {
+	var f fifo[int]
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 100; i++ {
+			f.push(round*100 + i)
+		}
+		for i := 0; i < 100; i++ {
+			v, ok := f.pop()
+			if !ok || v != round*100+i {
+				t.Fatalf("round %d: pop = %d,%v", round, v, ok)
+			}
+		}
+	}
+	if cap(f.items) > 1024 {
+		t.Errorf("fifo backing grew to %d; compaction is not bounding memory", cap(f.items))
+	}
+}
+
+func TestFifoOrderProperty(t *testing.T) {
+	err := quick.Check(func(vals []int) bool {
+		var f fifo[int]
+		for _, v := range vals {
+			f.push(v)
+		}
+		for _, v := range vals {
+			got, ok := f.pop()
+			if !ok || got != v {
+				return false
+			}
+		}
+		return f.len() == 0
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReqSlotRoundTrip(t *testing.T) {
+	for o := 0; o < 5; o++ {
+		for p := 0; p < 5; p++ {
+			if p == o {
+				continue
+			}
+			slot := reqSlot(o, p)
+			if slot < 0 || slot >= 4 {
+				t.Errorf("reqSlot(%d,%d) = %d out of [0,4)", o, p, slot)
+			}
+			if back := slotToPort(o, slot); back != p {
+				t.Errorf("slotToPort(%d, reqSlot(%d,%d)) = %d", o, o, p, back)
+			}
+		}
+	}
+}

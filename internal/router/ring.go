@@ -1,0 +1,79 @@
+package router
+
+import "fmt"
+
+// Ring tracks the buffer occupancy of one unidirectional torus ring for
+// one virtual channel, implementing bubble flow control for virtual-channel
+// routers (Puente et al.; used in the IBM BlueGene/L torus): dimension-
+// ordered routing on a torus cannot deadlock if every ring always retains
+// a free "bubble" of at least one whole packet, provided packets move under
+// virtual cut-through admission (a head advances only into a buffer with
+// room for the entire packet).
+//
+// A ring has one member buffer per router it passes through (the input VC
+// buffer that receives the ring's channel at each node). Admission control
+// distinguishes packets continuing around the ring — which only need space
+// for themselves — from packets entering the ring by injection or by
+// turning dimensions, which must additionally leave one whole-packet
+// bubble somewhere in the ring.
+//
+// Occupancy is tracked as COMMITTED flits: a whole packet is committed to
+// its downstream buffer at VC-allocation time (before its flits are in
+// flight) and released one flit at a time as flits are read out of that
+// buffer. Committing at admission closes the race where several heads,
+// each seeing the same free space, would be admitted together and
+// overcommit the ring, breaking the bubble invariant.
+type Ring struct {
+	depth int
+	occ   []int
+}
+
+// NewRing returns a ring of the given member count, each member buffer
+// holding depth flits.
+func NewRing(members, depth int) (*Ring, error) {
+	if members <= 0 || depth <= 0 {
+		return nil, fmt.Errorf("router: ring needs positive members and depth, got %d/%d", members, depth)
+	}
+	return &Ring{depth: depth, occ: make([]int, members)}, nil
+}
+
+// Add adjusts the occupancy of member buffer idx by delta flits.
+func (r *Ring) Add(idx, delta int) {
+	if idx < 0 || idx >= len(r.occ) {
+		return
+	}
+	r.occ[idx] += delta
+}
+
+// Occupancy returns the total flits buffered in the ring.
+func (r *Ring) Occupancy() int {
+	n := 0
+	for _, o := range r.occ {
+		n += o
+	}
+	return n
+}
+
+// UsablePackets returns how many whole packets of the given length could
+// still be admitted, counting only per-buffer contiguous capacity (free
+// slots fragmented across buffers in chunks smaller than a packet cannot
+// hold one).
+func (r *Ring) UsablePackets(pktLen int) int {
+	if pktLen <= 0 {
+		pktLen = 1
+	}
+	n := 0
+	for _, o := range r.occ {
+		free := r.depth - o
+		if free > 0 {
+			n += free / pktLen
+		}
+	}
+	return n
+}
+
+// ringRef points a router's input VC buffer at its slot in a ring.
+type ringRef struct {
+	ring *Ring
+	idx  int
+}

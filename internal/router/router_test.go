@@ -1,0 +1,633 @@
+package router
+
+import (
+	"strings"
+	"testing"
+
+	"orion/internal/flit"
+	"orion/internal/sim"
+	"orion/internal/topology"
+)
+
+func TestKindString(t *testing.T) {
+	if Wormhole.String() != "wormhole" || VirtualChannel.String() != "virtual-channel" ||
+		CentralBuffered.String() != "central-buffered" {
+		t.Error("kind names wrong")
+	}
+	if !strings.HasPrefix(Kind(9).String(), "Kind(") {
+		t.Error("unknown kind should format numerically")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Kind: Kind(9), Ports: 5, VCs: 1, BufferDepth: 8, FlitBits: 32},
+		{Kind: Wormhole, Ports: 1, VCs: 1, BufferDepth: 8, FlitBits: 32},
+		{Kind: Wormhole, Ports: 5, VCs: 1, BufferDepth: 8, FlitBits: 0},
+		{Kind: Wormhole, Ports: 5, VCs: 1, BufferDepth: 0, FlitBits: 32},
+		{Kind: Wormhole, Ports: 5, VCs: 2, BufferDepth: 8, FlitBits: 32},
+		{Kind: VirtualChannel, Ports: 5, VCs: 0, BufferDepth: 8, FlitBits: 32},
+		{Kind: VirtualChannel, Ports: 5, VCs: 65, BufferDepth: 8, FlitBits: 32},
+		{Kind: CentralBuffered, Ports: 5, VCs: 1, BufferDepth: 8, FlitBits: 32},
+		{Kind: CentralBuffered, Ports: 5, VCs: 1, BufferDepth: 8, FlitBits: 32,
+			CBBanks: 4, CBRows: 16, CBReadPorts: 0, CBWritePorts: 2},
+		{Kind: CentralBuffered, Ports: 5, VCs: 2, BufferDepth: 8, FlitBits: 32,
+			CBBanks: 4, CBRows: 16, CBReadPorts: 2, CBWritePorts: 2},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+	if err := whConfig().Validate(); err != nil {
+		t.Errorf("wormhole config rejected: %v", err)
+	}
+	if err := vcConfig().Validate(); err != nil {
+		t.Errorf("vc config rejected: %v", err)
+	}
+	if err := cbConfig().Validate(); err != nil {
+		t.Errorf("cb config rejected: %v", err)
+	}
+}
+
+func TestPipelineStages(t *testing.T) {
+	if whConfig().PipelineStages() != 2 {
+		t.Error("wormhole should be 2-stage")
+	}
+	if vcConfig().PipelineStages() != 3 {
+		t.Error("virtual-channel should be 3-stage")
+	}
+	if cbConfig().PipelineStages() != 3 {
+		t.Error("central-buffered should be 3-stage")
+	}
+}
+
+func TestConstructorKindChecks(t *testing.T) {
+	bus := &sim.Bus{}
+	if _, err := NewXB(0, cbConfig(), bus); err == nil {
+		t.Error("NewXB should reject central-buffered configs")
+	}
+	if _, err := NewCB(0, whConfig(), bus); err == nil {
+		t.Error("NewCB should reject wormhole configs")
+	}
+	if _, err := NewXB(0, whConfig(), nil); err == nil {
+		t.Error("NewXB should require a bus")
+	}
+	if _, err := NewCB(0, cbConfig(), nil); err == nil {
+		t.Error("NewCB should require a bus")
+	}
+	bad := whConfig()
+	bad.Ports = 0
+	if _, err := NewXB(0, bad, bus); err == nil {
+		t.Error("NewXB should validate the config")
+	}
+}
+
+func TestAttachRangeChecks(t *testing.T) {
+	bus := &sim.Bus{}
+	xb, err := NewXB(0, whConfig(), bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := xb.AttachInput(9, nil, nil); err == nil {
+		t.Error("out-of-range input attach should fail")
+	}
+	if err := xb.AttachOutput(-1, nil, nil, 4, false); err == nil {
+		t.Error("out-of-range output attach should fail")
+	}
+	cb, err := NewCB(1, cbConfig(), bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cb.AttachInput(5, nil, nil); err == nil {
+		t.Error("out-of-range cb input attach should fail")
+	}
+	if err := cb.AttachOutput(5, nil, nil, 4, false); err == nil {
+		t.Error("out-of-range cb output attach should fail")
+	}
+}
+
+// deliverOnePacket injects one 5-flit packet 0→1 and returns the cycle the
+// tail was ejected.
+func deliverOnePacket(t *testing.T, cfg Config) (headLatency, tailLatency int64, p *pair) {
+	t.Helper()
+	p = newPair(t, cfg)
+	flits := makePacket(1, 5, cfg.FlitBits)
+	p.sources[0].Enqueue(flits)
+	p.run(t, 100)
+	if len(p.ejected) != 5 {
+		t.Fatalf("%s: ejected %d flits, want 5", cfg.Kind, len(p.ejected))
+	}
+	for i, f := range p.ejected {
+		if f.Seq != i {
+			t.Fatalf("%s: flits ejected out of order: %v", cfg.Kind, p.ejected)
+		}
+	}
+	return p.ejectedAt[0], p.ejectedAt[4], p
+}
+
+func TestWormholeDelivery(t *testing.T) {
+	head, tail, p := deliverOnePacket(t, whConfig())
+	// Wormhole: inject t0 (wire), arrive t1, SA t1, ST t2 (link),
+	// arrive router1 t3, SA t3, ST t4 (eject wire), sink t5.
+	if head != 5 {
+		t.Errorf("head ejection cycle = %d, want 5 (2-stage pipeline)", head)
+	}
+	if tail != head+4 {
+		t.Errorf("tail ejection cycle = %d, want head+4 (one flit per cycle)", tail)
+	}
+	// Event accounting: each flit writes+reads each of 2 routers' buffers,
+	// traverses 2 crossbars and 1 link.
+	if got := p.bus.Count[sim.EvBufferWrite]; got != 10 {
+		t.Errorf("buffer writes = %d, want 10", got)
+	}
+	if got := p.bus.Count[sim.EvBufferRead]; got != 10 {
+		t.Errorf("buffer reads = %d, want 10", got)
+	}
+	if got := p.bus.Count[sim.EvCrossbarTraversal]; got != 10 {
+		t.Errorf("crossbar traversals = %d, want 10", got)
+	}
+	if got := p.bus.Count[sim.EvLinkTraversal]; got != 5 {
+		t.Errorf("link traversals = %d, want 5", got)
+	}
+	if got := p.bus.Count[sim.EvVCAllocation]; got != 0 {
+		t.Errorf("wormhole router performed %d VC allocations", got)
+	}
+	if p.bus.Count[sim.EvArbitration] == 0 {
+		t.Error("no switch arbitrations recorded")
+	}
+}
+
+func TestVCDelivery(t *testing.T) {
+	head, tail, p := deliverOnePacket(t, vcConfig())
+	// VC router adds one pipeline stage per hop: head at 5+2 = 7.
+	if head != 7 {
+		t.Errorf("head ejection cycle = %d, want 7 (3-stage pipeline)", head)
+	}
+	if tail != head+4 {
+		t.Errorf("tail ejection cycle = %d, want head+4", tail)
+	}
+	if got := p.bus.Count[sim.EvVCAllocation]; got == 0 {
+		t.Error("VC router performed no VC allocations")
+	}
+	// 2 routers × (input-stage + output-stage) VA for one head = 4.
+	if got := p.bus.Count[sim.EvVCAllocation]; got != 4 {
+		t.Errorf("VC allocations = %d, want 4", got)
+	}
+}
+
+// TestSpeculativeVCDelivery: with speculative switch allocation the VC
+// router collapses to a 2-stage pipeline — same head timing as wormhole.
+func TestSpeculativeVCDelivery(t *testing.T) {
+	cfg := vcConfig()
+	cfg.Speculative = true
+	if cfg.PipelineStages() != 2 {
+		t.Fatal("speculative VC router should be 2-stage")
+	}
+	head, tail, p := deliverOnePacket(t, cfg)
+	if head != 5 {
+		t.Errorf("speculative head ejection cycle = %d, want 5", head)
+	}
+	if tail != head+4 {
+		t.Errorf("tail ejection cycle = %d, want head+4", tail)
+	}
+	if got := p.bus.Count[sim.EvVCAllocation]; got != 4 {
+		t.Errorf("VC allocations = %d, want 4", got)
+	}
+}
+
+func TestCBDelivery(t *testing.T) {
+	head, tail, p := deliverOnePacket(t, cbConfig())
+	// CB router: arrive t, CB write t+1, CB read t+2 (3 stages).
+	if head != 7 {
+		t.Errorf("head ejection cycle = %d, want 7", head)
+	}
+	if tail != head+4 {
+		t.Errorf("tail ejection cycle = %d, want head+4", tail)
+	}
+	if got := p.bus.Count[sim.EvCentralBufWrite]; got != 10 {
+		t.Errorf("central buffer writes = %d, want 10", got)
+	}
+	if got := p.bus.Count[sim.EvCentralBufRead]; got != 10 {
+		t.Errorf("central buffer reads = %d, want 10", got)
+	}
+	if got := p.bus.Count[sim.EvCrossbarTraversal]; got != 0 {
+		t.Errorf("CB router traversed a crossbar %d times", got)
+	}
+}
+
+func TestSingleFlitPacket(t *testing.T) {
+	for _, cfg := range []Config{whConfig(), vcConfig(), cbConfig()} {
+		p := newPair(t, cfg)
+		p.sources[0].Enqueue(makePacket(1, 1, cfg.FlitBits))
+		p.run(t, 50)
+		if len(p.ejected) != 1 {
+			t.Errorf("%s: single-flit packet not delivered", cfg.Kind)
+			continue
+		}
+		if p.ejected[0].Kind != flit.HeadTail {
+			t.Errorf("%s: wrong kind ejected", cfg.Kind)
+		}
+	}
+}
+
+// TestBackpressure: with a 4-flit buffer, many packets must still deliver
+// without overflow (credit flow control) in all router kinds.
+func TestBackpressure(t *testing.T) {
+	for _, base := range []Config{whConfig(), vcConfig(), cbConfig()} {
+		cfg := base
+		cfg.BufferDepth = 4
+		if cfg.Kind == Wormhole {
+			// Wormhole with packets longer than the buffer exercises
+			// flit-by-flit wormhole flow control.
+			cfg.BufferDepth = 6
+		}
+		p := newPair(t, cfg)
+		total := 20
+		for i := 0; i < total; i++ {
+			p.sources[0].Enqueue(makePacket(int64(i+1), 4, cfg.FlitBits))
+		}
+		p.run(t, 2000)
+		if len(p.ejected) != total*4 {
+			t.Errorf("%s: ejected %d flits, want %d", cfg.Kind, len(p.ejected), total*4)
+		}
+		if p.sources[0].Injected != int64(total*4) {
+			t.Errorf("%s: source injected %d flits, want %d", cfg.Kind, p.sources[0].Injected, total*4)
+		}
+	}
+}
+
+// TestBidirectionalTraffic: both nodes send simultaneously; the two
+// directions use independent links and must not interfere.
+func TestBidirectionalTraffic(t *testing.T) {
+	cfg := vcConfig()
+	p := newPair(t, cfg)
+	p.sources[0].Enqueue(makePacket(1, 5, cfg.FlitBits))
+
+	pkt := &flit.Packet{
+		ID: 2, Src: 1, Dst: 0,
+		Route:  []int{topology.PortSouth, topology.PortLocal},
+		Length: 5,
+	}
+	var back []*flit.Flit
+	for i := 0; i < 5; i++ {
+		kind := flit.Body
+		if i == 0 {
+			kind = flit.Head
+		} else if i == 4 {
+			kind = flit.Tail
+		}
+		back = append(back, &flit.Flit{Packet: pkt, Seq: i, Kind: kind, Payload: []uint64{uint64(i)}})
+	}
+	p.sources[1].Enqueue(back)
+
+	p.run(t, 100)
+	if len(p.ejected) != 10 {
+		t.Fatalf("ejected %d flits, want 10", len(p.ejected))
+	}
+	if p.sinks[0].Ejected != 5 || p.sinks[1].Ejected != 5 {
+		t.Errorf("per-sink ejections = %d/%d, want 5/5", p.sinks[0].Ejected, p.sinks[1].Ejected)
+	}
+}
+
+// TestVCInterleaving: two packets from the same source must both deliver;
+// with 2 VCs the second need not wait for the first.
+func TestVCInterleaving(t *testing.T) {
+	cfg := vcConfig()
+	p := newPair(t, cfg)
+	p.sources[0].Enqueue(makePacket(1, 5, cfg.FlitBits))
+	p.sources[0].Enqueue(makePacket(2, 5, cfg.FlitBits))
+	p.run(t, 100)
+	if len(p.ejected) != 10 {
+		t.Fatalf("ejected %d flits, want 10", len(p.ejected))
+	}
+	// Within each packet, order must hold.
+	seq := map[int64]int{}
+	for _, f := range p.ejected {
+		id := f.Packet.ID
+		if f.Seq != seq[id] {
+			t.Fatalf("packet %d flits out of order", id)
+		}
+		seq[id]++
+	}
+}
+
+func TestSourceRespectsCredits(t *testing.T) {
+	data := sim.NewWire[*flit.Flit]("d")
+	cred := sim.NewLossyWire[flit.Credit]("c")
+	src, err := NewSource(0, 1, 2, data, cred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Enqueue(makePacket(1, 5, 64))
+	// Without credit returns, only depth (2) flits can be sent.
+	for i := int64(0); i < 10; i++ {
+		if err := src.Tick(i); err != nil {
+			t.Fatal(err)
+		}
+		data.Take()
+		if err := data.Latch(); err != nil {
+			t.Fatal(err)
+		}
+		if err := cred.Latch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if src.Injected != 2 {
+		t.Errorf("source injected %d flits with 2 credits", src.Injected)
+	}
+	// Return a credit: one more flit flows.
+	if err := cred.Send(flit.Credit{VC: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cred.Latch(); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Tick(10); err != nil {
+		t.Fatal(err)
+	}
+	if src.Injected != 3 {
+		t.Errorf("source injected %d flits after credit return, want 3", src.Injected)
+	}
+}
+
+func TestSourceErrors(t *testing.T) {
+	data := sim.NewWire[*flit.Flit]("d")
+	cred := sim.NewLossyWire[flit.Credit]("c")
+	if _, err := NewSource(0, 0, 4, data, cred); err == nil {
+		t.Error("zero VCs should fail")
+	}
+	if _, err := NewSource(0, 1, 0, data, cred); err == nil {
+		t.Error("zero depth should fail")
+	}
+	if _, err := NewSource(0, 1, 4, nil, cred); err == nil {
+		t.Error("nil wires should fail")
+	}
+	src, err := NewSource(0, 1, 4, data, cred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queue starting with a body flit is a protocol violation.
+	body := makePacket(1, 5, 64)[1:]
+	src.Enqueue(body)
+	if err := src.Tick(0); err == nil {
+		t.Error("headless queue should error")
+	}
+}
+
+func TestSinkMisroute(t *testing.T) {
+	w := sim.NewWire[*flit.Flit]("e")
+	sink, err := NewSink(3, w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSink(0, nil, nil); err == nil {
+		t.Error("nil wire should fail")
+	}
+	f := makePacket(1, 1, 64)[0] // dst 1, sink is node 3
+	if err := w.Send(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Latch(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Tick(0); err == nil {
+		t.Error("misrouted flit should error")
+	}
+}
+
+// classedHead builds a head flit whose dateline class at hop 0 is class.
+func classedHead(class int) *flit.Flit {
+	pkt := &flit.Packet{
+		ID: 1, Length: 1,
+		Route:     []int{topology.PortNorth, topology.PortLocal},
+		VCClasses: []int{class, class},
+	}
+	return &flit.Flit{Packet: pkt, Kind: flit.Head}
+}
+
+// TestDatelineVCPartition: in dateline mode, allocatableVC must respect
+// the class partition; in the default (bubble/none) mode classes are
+// ignored.
+func TestDatelineVCPartition(t *testing.T) {
+	bus := &sim.Bus{}
+	cfg := Config{Kind: VirtualChannel, Ports: 5, VCs: 4, BufferDepth: 8, FlitBits: 32, Dateline: true}
+	r, err := NewXB(0, cfg, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AttachOutput(0, nil, nil, 8, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AttachOutput(4, nil, nil, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.allocatableVC(0, classedHead(0), topology.PortLocal); got != 0 {
+		t.Errorf("class 0 should get VC 0, got %d", got)
+	}
+	if got := r.allocatableVC(0, classedHead(1), topology.PortLocal); got != 2 {
+		t.Errorf("class 1 should get VC 2 (upper half), got %d", got)
+	}
+	// Exhaust class 1 (VCs 2,3): class 1 has none left, class 0 fine.
+	r.out[0][2].free = false
+	r.out[0][3].free = false
+	if got := r.allocatableVC(0, classedHead(1), topology.PortLocal); got != -1 {
+		t.Errorf("exhausted class 1 should return -1, got %d", got)
+	}
+	if got := r.allocatableVC(0, classedHead(0), topology.PortLocal); got != 0 {
+		t.Errorf("class 0 should be unaffected, got %d", got)
+	}
+	// Ejection port ignores classes.
+	if got := r.allocatableVC(4, classedHead(1), topology.PortLocal); got != 0 {
+		t.Errorf("ejection port should ignore class, got %d", got)
+	}
+
+	// Without dateline mode the class carries no restriction.
+	cfg.Dateline = false
+	r2, err := NewXB(0, cfg, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.AttachOutput(0, nil, nil, 8, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.allocatableVC(0, classedHead(1), topology.PortLocal); got != 0 {
+		t.Errorf("bubble mode should ignore classes, got VC %d", got)
+	}
+}
+
+// TestBubbleVCAdmission: in bubble mode an entering head needs virtual
+// cut-through space and a ring bubble.
+func TestBubbleVCAdmission(t *testing.T) {
+	bus := &sim.Bus{}
+	cfg := Config{Kind: VirtualChannel, Ports: 5, VCs: 2, BufferDepth: 8, FlitBits: 32, Bubble: true}
+	r, err := NewXB(0, cfg, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AttachOutput(0, nil, nil, 8, false); err != nil {
+		t.Fatal(err)
+	}
+	ring, err := NewRing(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetOutputRing(0, 0, ring, 1); err != nil {
+		t.Fatal(err)
+	}
+	head := classedHead(-1)
+	head.Packet.Length = 5
+
+	// Entering (local→north): ring empty, usable = 4 buffers × 1 ≥ 2: OK.
+	if got := r.allocatableVC(0, head, topology.PortLocal); got != 0 {
+		t.Errorf("empty ring should admit, got %d", got)
+	}
+	// Fill the ring so only one whole-packet slot remains: entering
+	// blocked, continuing fine.
+	for i := 0; i < 3; i++ {
+		ring.Add(i, 5)
+	}
+	if got := r.allocatableVC(0, head, topology.PortLocal); got != 1 {
+		t.Errorf("VC 0's ring lacks a bubble but VC 1 has no ring and should admit: got %d", got)
+	}
+	// Restrict VC 1 too by attaching the same ring.
+	if err := r.SetOutputRing(0, 1, ring, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.allocatableVC(0, head, topology.PortLocal); got != -1 {
+		t.Errorf("entering head should be blocked to preserve the bubble, got %d", got)
+	}
+	// Continuing (south→north) bypasses the ring-bubble check.
+	if got := r.allocatableVC(0, head, topology.PortSouth); got != 0 {
+		t.Errorf("continuing head should be admitted, got %d", got)
+	}
+	// Virtual cut-through: fewer credits than a packet blocks even
+	// continuing heads.
+	r.out[0][0].credits = 4
+	r.out[0][1].credits = 4
+	if got := r.allocatableVC(0, head, topology.PortSouth); got != -1 {
+		t.Errorf("VCT should block heads without whole-packet space, got %d", got)
+	}
+}
+
+func TestRingAccounting(t *testing.T) {
+	if _, err := NewRing(0, 8); err == nil {
+		t.Error("zero members should fail")
+	}
+	if _, err := NewRing(4, 0); err == nil {
+		t.Error("zero depth should fail")
+	}
+	ring, err := NewRing(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ring.UsablePackets(5) != 4 {
+		t.Errorf("empty ring usable = %d, want 4", ring.UsablePackets(5))
+	}
+	if ring.UsablePackets(4) != 8 {
+		t.Errorf("usable(4) = %d, want 8", ring.UsablePackets(4))
+	}
+	ring.Add(0, 5)
+	ring.Add(1, 7)
+	if ring.Occupancy() != 12 {
+		t.Errorf("occupancy = %d, want 12", ring.Occupancy())
+	}
+	// Buffer 0 has 3 free (<5), buffer 1 has 1 free, buffers 2,3 full
+	// capacity: usable(5) = 2.
+	if ring.UsablePackets(5) != 2 {
+		t.Errorf("usable = %d, want 2", ring.UsablePackets(5))
+	}
+	ring.Add(9, 1) // out of range: ignored
+	if ring.Occupancy() != 12 {
+		t.Error("out-of-range Add should be ignored")
+	}
+	if ring.UsablePackets(0) != ring.UsablePackets(1) {
+		t.Error("non-positive packet length should clamp to 1")
+	}
+}
+
+// TestBubbleCredits: heads entering a ring need two packets of space,
+// continuing heads one.
+func TestBubbleCredits(t *testing.T) {
+	f := makePacket(1, 5, 64)[0]
+	if got := (Config{}).bubbleCredits(topology.PortSouth, topology.PortNorth, f); got != 5 {
+		t.Errorf("continuing head threshold = %d, want 5", got)
+	}
+	if got := (Config{}).bubbleCredits(topology.PortLocal, topology.PortNorth, f); got != 10 {
+		t.Errorf("injecting head threshold = %d, want 10", got)
+	}
+	if got := (Config{}).bubbleCredits(topology.PortSouth, topology.PortEast, f); got != 10 {
+		t.Errorf("turning head threshold = %d, want 10", got)
+	}
+	bare := &flit.Flit{Kind: flit.Head}
+	if got := (Config{}).bubbleCredits(topology.PortLocal, topology.PortNorth, bare); got != 2 {
+		t.Errorf("packet-less head threshold = %d, want 2", got)
+	}
+}
+
+// TestWormholeBubbleStallsWithoutSpace: with Bubble enabled and a buffer
+// holding less than two packets, an injecting head must wait until the
+// downstream has bubble space.
+func TestWormholeBubbleStallsWithoutSpace(t *testing.T) {
+	cfg := whConfig()
+	cfg.Bubble = true
+	cfg.BufferDepth = 12 // 2 packets of 5 fit with bubble (10 ≤ 12)
+	p := newPair(t, cfg)
+	p.sources[0].Enqueue(makePacket(1, 5, cfg.FlitBits))
+	p.run(t, 100)
+	if len(p.ejected) != 5 {
+		t.Fatalf("bubble config should still deliver, got %d flits", len(p.ejected))
+	}
+
+	// With depth 8 < 2 packets, injection (a ring entry) can never
+	// satisfy the bubble condition: the packet must stay queued.
+	cfg.BufferDepth = 8
+	q := newPair(t, cfg)
+	q.sources[0].Enqueue(makePacket(1, 5, cfg.FlitBits))
+	q.run(t, 100)
+	if len(q.ejected) != 0 {
+		t.Fatalf("under-provisioned bubble config delivered %d flits", len(q.ejected))
+	}
+	if q.routers[0].(*XBRouter).BufferedFlits() == 0 && q.sources[0].QueuedFlits() == 0 {
+		t.Error("flits vanished instead of stalling")
+	}
+}
+
+func TestBufferedFlitsAccessors(t *testing.T) {
+	p := newPair(t, vcConfig())
+	if p.routers[0].(*XBRouter).BufferedFlits() != 0 {
+		t.Error("fresh router should hold no flits")
+	}
+	c := newPair(t, cbConfig())
+	if c.routers[0].(*CBRouter).BufferedFlits() != 0 {
+		t.Error("fresh CB router should hold no flits")
+	}
+	if c.routers[0].(*CBRouter).Node() != 0 {
+		t.Error("Node accessor broken")
+	}
+	if p.routers[1].(*XBRouter).Node() != 1 {
+		t.Error("Node accessor broken")
+	}
+}
+
+// TestPayloadIntegrity: payloads must arrive unmodified.
+func TestPayloadIntegrity(t *testing.T) {
+	for _, cfg := range []Config{whConfig(), vcConfig(), cbConfig()} {
+		p := newPair(t, cfg)
+		flits := makePacket(7, 5, cfg.FlitBits)
+		want := make([][]uint64, len(flits))
+		for i, f := range flits {
+			want[i] = append([]uint64(nil), f.Payload...)
+		}
+		p.sources[0].Enqueue(flits)
+		p.run(t, 100)
+		if len(p.ejected) != 5 {
+			t.Fatalf("%s: lost flits", cfg.Kind)
+		}
+		for i, f := range p.ejected {
+			if flit.Hamming(f.Payload, want[i]) != 0 {
+				t.Errorf("%s: payload of flit %d corrupted", cfg.Kind, i)
+			}
+		}
+	}
+}

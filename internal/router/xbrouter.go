@@ -1,0 +1,679 @@
+package router
+
+import (
+	"fmt"
+
+	"orion/internal/flit"
+	"orion/internal/sim"
+)
+
+// Router is the interface the network builder uses to wire any router
+// microarchitecture into the fabric.
+type Router interface {
+	sim.Module
+	// AttachInput connects an incoming data wire and the credit wire on
+	// which this router returns credits upstream.
+	AttachInput(port int, data *sim.Wire[*flit.Flit], credit *sim.Wire[flit.Credit]) error
+	// AttachOutput connects an outgoing data wire and the credit wire on
+	// which the downstream node returns credits. downstreamCredits is
+	// the downstream buffer depth per VC; infinite marks ejection ports,
+	// which the paper assumes drain immediately.
+	AttachOutput(port int, data *sim.Wire[*flit.Flit], credit *sim.Wire[flit.Credit], downstreamCredits int, infinite bool) error
+	// SetGovernor throttles an output port's bandwidth (nil for none).
+	SetGovernor(port int, gov OutputGovernor) error
+	// Config returns the router's configuration.
+	Config() Config
+}
+
+// OutputGovernor throttles an output link's bandwidth, e.g. a dynamic
+// voltage scaling controller whose lower operating points send fewer flits
+// per cycle.
+type OutputGovernor interface {
+	// SendPeriod returns the minimum cycles between flit sends in force
+	// at the given cycle.
+	SendPeriod(cycle int64) int64
+	// OnSend records one flit traversal.
+	OnSend(cycle int64)
+}
+
+type vcState int
+
+const (
+	vcIdle   vcState = iota // no packet owns the VC
+	vcWaitVA                // head at front, awaiting VC allocation
+	vcActive                // output VC held; flits may arbitrate for the switch
+)
+
+type inputVC struct {
+	q         fifo[*flit.Flit]
+	state     vcState
+	outPort   int
+	outVC     int
+	pendingST bool
+}
+
+type outputVC struct {
+	free      bool
+	credits   int
+	infinite  bool
+	ownerPort int
+	ownerVC   int
+}
+
+type grant struct {
+	inPort, inVC, outPort, outVC int
+}
+
+// XBRouter is the input-buffered crossbar router, covering both wormhole
+// (VCs = 1, 2-stage pipeline) and virtual-channel (3-stage pipeline)
+// configurations.
+type XBRouter struct {
+	name string
+	node int
+	cfg  Config
+	bus  *sim.Bus
+
+	in  [][]inputVC
+	out [][]outputVC
+
+	inData  []*sim.Wire[*flit.Flit]
+	inCred  []*sim.Wire[flit.Credit]
+	outData []*sim.Wire[*flit.Flit]
+	outCred []*sim.Wire[flit.Credit]
+
+	stExec []grant
+
+	saIn, saOut []picker
+	vaIn, vaOut []picker
+
+	// Ring occupancy accounting for bubble flow control (torus,
+	// virtual-channel routers). inRings[p][v] is the ring slot of the
+	// input VC buffer (released per flit popped); outRings[p][v] is the
+	// downstream ring slot an output channel VC feeds (committed per
+	// packet at VC allocation).
+	inRings  [][]*ringRef
+	outRings [][]*ringRef
+
+	// Output bandwidth governors (e.g. DVS link controllers) and the
+	// next cycle each output may send.
+	govs    []OutputGovernor
+	outFree []int64
+}
+
+var _ Router = (*XBRouter)(nil)
+
+// NewXB returns a wormhole or virtual-channel router for the given node.
+func NewXB(node int, cfg Config, bus *sim.Bus) (*XBRouter, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Kind != Wormhole && cfg.Kind != VirtualChannel {
+		return nil, fmt.Errorf("router: NewXB cannot build a %s router", cfg.Kind)
+	}
+	if bus == nil {
+		return nil, fmt.Errorf("router: event bus is required")
+	}
+	r := &XBRouter{
+		name:    fmt.Sprintf("router%d(%s)", node, cfg.Kind),
+		node:    node,
+		cfg:     cfg,
+		bus:     bus,
+		in:      make([][]inputVC, cfg.Ports),
+		out:     make([][]outputVC, cfg.Ports),
+		inData:  make([]*sim.Wire[*flit.Flit], cfg.Ports),
+		inCred:  make([]*sim.Wire[flit.Credit], cfg.Ports),
+		outData: make([]*sim.Wire[*flit.Flit], cfg.Ports),
+		outCred: make([]*sim.Wire[flit.Credit], cfg.Ports),
+		saIn:    make([]picker, cfg.Ports),
+		saOut:   make([]picker, cfg.Ports),
+		vaIn:    make([]picker, cfg.Ports),
+		vaOut:   make([]picker, cfg.Ports),
+	}
+	r.inRings = make([][]*ringRef, cfg.Ports)
+	r.outRings = make([][]*ringRef, cfg.Ports)
+	r.govs = make([]OutputGovernor, cfg.Ports)
+	r.outFree = make([]int64, cfg.Ports)
+	for p := 0; p < cfg.Ports; p++ {
+		r.in[p] = make([]inputVC, cfg.VCs)
+		r.out[p] = make([]outputVC, cfg.VCs)
+		for v := range r.out[p] {
+			r.out[p][v].free = true
+		}
+		r.saIn[p] = picker{n: cfg.VCs}
+		r.vaIn[p] = picker{n: cfg.VCs}
+		r.saOut[p] = picker{n: cfg.Ports - 1}
+		r.vaOut[p] = picker{n: cfg.Ports - 1}
+		r.inRings[p] = make([]*ringRef, cfg.VCs)
+		r.outRings[p] = make([]*ringRef, cfg.VCs)
+	}
+	return r, nil
+}
+
+// SetInputRing registers the input VC buffer (port, vc) as member idx of a
+// ring, for bubble flow control occupancy accounting.
+func (r *XBRouter) SetInputRing(port, vc int, ring *Ring, idx int) error {
+	if port < 0 || port >= r.cfg.Ports || vc < 0 || vc >= r.cfg.VCs {
+		return fmt.Errorf("router: input ring (%d,%d) out of range", port, vc)
+	}
+	r.inRings[port][vc] = &ringRef{ring: ring, idx: idx}
+	return nil
+}
+
+// SetOutputRing registers the ring and downstream member slot that output
+// channel (port, vc) feeds, for bubble admission checks and packet
+// commitment.
+func (r *XBRouter) SetOutputRing(port, vc int, ring *Ring, downstreamIdx int) error {
+	if port < 0 || port >= r.cfg.Ports || vc < 0 || vc >= r.cfg.VCs {
+		return fmt.Errorf("router: output ring (%d,%d) out of range", port, vc)
+	}
+	r.outRings[port][vc] = &ringRef{ring: ring, idx: downstreamIdx}
+	return nil
+}
+
+// SetGovernor implements Router.
+func (r *XBRouter) SetGovernor(port int, gov OutputGovernor) error {
+	if port < 0 || port >= r.cfg.Ports {
+		return fmt.Errorf("router: governor port %d out of range [0,%d)", port, r.cfg.Ports)
+	}
+	r.govs[port] = gov
+	return nil
+}
+
+// Name implements sim.Module.
+func (r *XBRouter) Name() string { return r.name }
+
+// Config implements Router.
+func (r *XBRouter) Config() Config { return r.cfg }
+
+// Node returns the router's node index.
+func (r *XBRouter) Node() int { return r.node }
+
+// AttachInput implements Router.
+func (r *XBRouter) AttachInput(port int, data *sim.Wire[*flit.Flit], credit *sim.Wire[flit.Credit]) error {
+	if port < 0 || port >= r.cfg.Ports {
+		return fmt.Errorf("router: input port %d out of range [0,%d)", port, r.cfg.Ports)
+	}
+	r.inData[port] = data
+	r.inCred[port] = credit
+	return nil
+}
+
+// AttachOutput implements Router.
+func (r *XBRouter) AttachOutput(port int, data *sim.Wire[*flit.Flit], credit *sim.Wire[flit.Credit], downstreamCredits int, infinite bool) error {
+	if port < 0 || port >= r.cfg.Ports {
+		return fmt.Errorf("router: output port %d out of range [0,%d)", port, r.cfg.Ports)
+	}
+	r.outData[port] = data
+	r.outCred[port] = credit
+	for v := range r.out[port] {
+		r.out[port][v].credits = downstreamCredits
+		r.out[port][v].infinite = infinite
+	}
+	return nil
+}
+
+// BufferedFlits returns the number of flits currently buffered, used by
+// drain checks and tests.
+func (r *XBRouter) BufferedFlits() int {
+	n := 0
+	for p := range r.in {
+		for v := range r.in[p] {
+			n += r.in[p][v].q.len()
+		}
+	}
+	return n
+}
+
+// Tick implements sim.Module. Stage order within a tick keeps the paper's
+// pipeline depths: a head flit arriving in cycle t is written and
+// VC-allocated at t, switch-allocated at t+1 and traverses at t+2 (3
+// stages); a wormhole flit is switch-allocated at t and traverses at t+1
+// (2 stages).
+func (r *XBRouter) Tick(cycle int64) error {
+	if err := r.receive(cycle); err != nil {
+		return err
+	}
+	if err := r.switchTraversal(cycle); err != nil {
+		return err
+	}
+	if r.cfg.Kind == VirtualChannel && r.cfg.Speculative {
+		// Speculative pipeline [15]: VC allocation resolves before
+		// switch allocation within the cycle, so a fresh head can win
+		// both and traverse next cycle (2 effective stages).
+		r.vcAllocation(cycle)
+		return r.switchAllocation(cycle)
+	}
+	if err := r.switchAllocation(cycle); err != nil {
+		return err
+	}
+	if r.cfg.Kind == VirtualChannel {
+		r.vcAllocation(cycle)
+	}
+	return nil
+}
+
+// receive drains incoming credit and data wires.
+func (r *XBRouter) receive(cycle int64) error {
+	for p := 0; p < r.cfg.Ports; p++ {
+		if w := r.outCred[p]; w != nil {
+			if c, ok := w.Take(); ok {
+				if c.VC < 0 || c.VC >= r.cfg.VCs {
+					return fmt.Errorf("credit for unknown VC %d on output %d", c.VC, p)
+				}
+				r.out[p][c.VC].credits++
+			}
+		}
+		if w := r.inData[p]; w != nil {
+			if f, ok := w.Take(); ok {
+				if err := r.acceptFlit(cycle, p, f); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (r *XBRouter) acceptFlit(cycle int64, port int, f *flit.Flit) error {
+	if f.VC < 0 || f.VC >= r.cfg.VCs {
+		return fmt.Errorf("flit %v arrived on unknown VC at port %d", f, port)
+	}
+	ivc := &r.in[port][f.VC]
+	if ivc.q.len() >= r.cfg.BufferDepth {
+		return fmt.Errorf("buffer overflow at port %d vc %d: flow control violated by %v", port, f.VC, f)
+	}
+	ivc.q.push(f)
+	r.bus.Publish(&sim.Event{
+		Type: sim.EvBufferWrite, Cycle: cycle, Node: r.node,
+		Port: port, VC: f.VC, Data: f.Payload,
+	})
+	return r.refresh(port, f.VC)
+}
+
+// refresh recomputes an input VC's state from its front flit.
+func (r *XBRouter) refresh(port, vc int) error {
+	ivc := &r.in[port][vc]
+	f, ok := ivc.q.front()
+	if !ok || ivc.state != vcIdle {
+		return nil
+	}
+	if !f.Kind.IsHead() {
+		return fmt.Errorf("port %d vc %d: %v at queue front of idle VC (packet interleaving)", port, vc, f)
+	}
+	outPort, err := f.OutputPort()
+	if err != nil {
+		return err
+	}
+	if outPort < 0 || outPort >= r.cfg.Ports {
+		return fmt.Errorf("flit %v routes to invalid port %d", f, outPort)
+	}
+	ivc.outPort = outPort
+	if r.cfg.Kind == VirtualChannel {
+		ivc.state = vcWaitVA
+	}
+	// Wormhole: stays vcIdle; switch allocation acquires the output
+	// port directly (2-stage pipeline).
+	return nil
+}
+
+// switchTraversal executes last cycle's switch grants: buffer read,
+// crossbar traversal, link traversal, credit return.
+func (r *XBRouter) switchTraversal(cycle int64) error {
+	grants := r.stExec
+	r.stExec = nil
+	for _, g := range grants {
+		ivc := &r.in[g.inPort][g.inVC]
+		f, ok := ivc.q.pop()
+		if !ok {
+			return fmt.Errorf("ST grant for empty queue %d/%d", g.inPort, g.inVC)
+		}
+		ivc.pendingST = false
+		if ref := r.inRings[g.inPort][g.inVC]; ref != nil {
+			ref.ring.Add(ref.idx, -1)
+		}
+		r.bus.Publish(&sim.Event{
+			Type: sim.EvBufferRead, Cycle: cycle, Node: r.node,
+			Port: g.inPort, VC: g.inVC,
+		})
+		r.bus.Publish(&sim.Event{
+			Type: sim.EvCrossbarTraversal, Cycle: cycle, Node: r.node,
+			Port: g.inPort, OutPort: g.outPort, Data: f.Payload,
+		})
+
+		// Return the freed buffer slot upstream.
+		if w := r.inCred[g.inPort]; w != nil {
+			if err := w.Send(flit.Credit{VC: g.inVC}); err != nil {
+				return err
+			}
+		}
+
+		f.VC = g.outVC
+		if !r.isEjection(g.outPort) {
+			f.Hop++
+			r.bus.Publish(&sim.Event{
+				Type: sim.EvLinkTraversal, Cycle: cycle, Node: r.node,
+				Port: g.outPort, Data: f.Payload,
+			})
+			if gov := r.govs[g.outPort]; gov != nil {
+				gov.OnSend(cycle)
+				r.outFree[g.outPort] = cycle + gov.SendPeriod(cycle)
+			}
+		}
+		w := r.outData[g.outPort]
+		if w == nil {
+			return fmt.Errorf("output port %d has no wire", g.outPort)
+		}
+		if err := w.Send(f); err != nil {
+			return err
+		}
+
+		if f.Kind.IsTail() {
+			ovc := &r.out[g.outPort][g.outVC]
+			ovc.free = true
+			ivc.state = vcIdle
+			if err := r.refresh(g.inPort, g.inVC); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// isEjection reports whether the port is the local ejection port (the
+// highest port index by convention).
+func (r *XBRouter) isEjection(port int) bool { return port == r.cfg.Ports-1 }
+
+// saEligible reports whether an input VC can request the switch.
+func (r *XBRouter) saEligible(port, vc int) bool {
+	ivc := &r.in[port][vc]
+	if ivc.pendingST || ivc.q.len() == 0 {
+		return false
+	}
+	switch ivc.state {
+	case vcActive:
+		ovc := &r.out[ivc.outPort][ivc.outVC]
+		return ovc.infinite || ovc.credits > 0
+	case vcIdle:
+		// Wormhole only: a head at the front acquires a free output
+		// port during switch allocation.
+		if r.cfg.Kind != Wormhole {
+			return false
+		}
+		f, ok := ivc.q.front()
+		if !ok || !f.Kind.IsHead() {
+			return false
+		}
+		ovc := &r.out[ivc.outPort][0]
+		if !ovc.free {
+			return false
+		}
+		if ovc.infinite {
+			return true
+		}
+		if r.cfg.Bubble {
+			return ovc.credits >= r.cfg.bubbleCredits(port, ivc.outPort, f)
+		}
+		return ovc.credits > 0
+	default:
+		return false
+	}
+}
+
+// switchAllocation performs the separable switch allocation and queues
+// grants for next cycle's traversal.
+func (r *XBRouter) switchAllocation(cycle int64) error {
+	// Stage 1: per input port, pick one requesting VC.
+	candidate := make([]int, r.cfg.Ports) // winning VC per input, -1 if none
+	for p := 0; p < r.cfg.Ports; p++ {
+		candidate[p] = -1
+		var req uint64
+		for v := 0; v < r.cfg.VCs; v++ {
+			if r.saEligible(p, v) {
+				req |= 1 << uint(v)
+			}
+		}
+		if req == 0 {
+			continue
+		}
+		if r.cfg.VCs == 1 {
+			// A single queue needs no input-stage arbiter (the
+			// wormhole router's arbiters are the 4:1 output
+			// arbiters of the Section 3.3 walkthrough).
+			candidate[p] = 0
+			continue
+		}
+		w := r.saIn[p].pick(req)
+		candidate[p] = w
+		r.bus.Publish(&sim.Event{
+			Type: sim.EvArbitration, Cycle: cycle, Node: r.node,
+			Stage: sim.StageInput, Port: p, ReqVector: req, Winner: w,
+		})
+	}
+
+	// Stage 2: per output port, pick one input among the candidates.
+	for o := 0; o < r.cfg.Ports; o++ {
+		if r.outFree[o] > cycle+1 {
+			continue // link throttled (e.g. DVS at reduced frequency)
+		}
+		var req uint64
+		for p := 0; p < r.cfg.Ports; p++ {
+			if p == o || candidate[p] < 0 {
+				continue
+			}
+			if r.in[p][candidate[p]].outPort == o {
+				req |= 1 << uint(reqSlot(o, p))
+			}
+		}
+		if req == 0 {
+			continue
+		}
+		slot := r.saOut[o].pick(req)
+		r.bus.Publish(&sim.Event{
+			Type: sim.EvArbitration, Cycle: cycle, Node: r.node,
+			Stage: sim.StageOutput, Port: o, ReqVector: req, Winner: slot,
+		})
+		p := slotToPort(o, slot)
+		v := candidate[p]
+		ivc := &r.in[p][v]
+
+		if ivc.state == vcIdle {
+			// Wormhole output-port acquisition.
+			ovc := &r.out[o][0]
+			ovc.free = false
+			ovc.ownerPort, ovc.ownerVC = p, v
+			ivc.state = vcActive
+			ivc.outVC = 0
+		}
+		ovc := &r.out[o][ivc.outVC]
+		if !ovc.infinite {
+			if ovc.credits <= 0 {
+				return fmt.Errorf("SA granted without credit at output %d vc %d", o, ivc.outVC)
+			}
+			ovc.credits--
+		}
+		ivc.pendingST = true
+		r.stExec = append(r.stExec, grant{inPort: p, inVC: v, outPort: o, outVC: ivc.outVC})
+	}
+	return nil
+}
+
+// vcAllocation performs the separable virtual-channel allocation for head
+// flits (3-stage pipeline, first stage).
+func (r *XBRouter) vcAllocation(cycle int64) {
+	candidate := make([]int, r.cfg.Ports)
+	for p := 0; p < r.cfg.Ports; p++ {
+		candidate[p] = -1
+		var req uint64
+		for v := 0; v < r.cfg.VCs; v++ {
+			ivc := &r.in[p][v]
+			if ivc.state != vcWaitVA {
+				continue
+			}
+			f, ok := ivc.q.front()
+			if !ok {
+				continue
+			}
+			if r.allocatableVC(ivc.outPort, f, p) < 0 {
+				continue
+			}
+			req |= 1 << uint(v)
+		}
+		if req == 0 {
+			continue
+		}
+		if r.cfg.VCs == 1 {
+			// A single VC needs no input-stage allocation arbiter.
+			candidate[p] = 0
+			continue
+		}
+		w := r.vaIn[p].pick(req)
+		candidate[p] = w
+		r.bus.Publish(&sim.Event{
+			Type: sim.EvVCAllocation, Cycle: cycle, Node: r.node,
+			Stage: sim.StageInput, Port: p, ReqVector: req, Winner: w,
+		})
+	}
+
+	for o := 0; o < r.cfg.Ports; o++ {
+		var req uint64
+		for p := 0; p < r.cfg.Ports; p++ {
+			if p == o || candidate[p] < 0 {
+				continue
+			}
+			if r.in[p][candidate[p]].outPort == o {
+				req |= 1 << uint(reqSlot(o, p))
+			}
+		}
+		if req == 0 {
+			continue
+		}
+		slot := r.vaOut[o].pick(req)
+		r.bus.Publish(&sim.Event{
+			Type: sim.EvVCAllocation, Cycle: cycle, Node: r.node,
+			Stage: sim.StageOutput, Port: o, ReqVector: req, Winner: slot,
+		})
+		p := slotToPort(o, slot)
+		v := candidate[p]
+		ivc := &r.in[p][v]
+		headFlit, ok := ivc.q.front()
+		if !ok {
+			continue
+		}
+		ovcIdx := r.allocatableVC(o, headFlit, p)
+		if ovcIdx < 0 {
+			continue
+		}
+		ovc := &r.out[o][ovcIdx]
+		ovc.free = false
+		ovc.ownerPort, ovc.ownerVC = p, v
+		ivc.outVC = ovcIdx
+		ivc.state = vcActive
+		// Commit the whole packet to the downstream ring buffer now so
+		// concurrent admissions elsewhere see the space as taken.
+		if ref := r.outRings[o][ovcIdx]; ref != nil {
+			ref.ring.Add(ref.idx, packetLength(headFlit))
+		}
+	}
+}
+
+// packetLength returns the flit count of a flit's packet, defaulting to 1.
+func packetLength(f *flit.Flit) int {
+	if f.Packet != nil && f.Packet.Length > 0 {
+		return f.Packet.Length
+	}
+	return 1
+}
+
+// DumpState renders the router's internal state for diagnostics.
+func (r *XBRouter) DumpState() string {
+	s := fmt.Sprintf("router %d:\n", r.node)
+	for p := range r.in {
+		for v := range r.in[p] {
+			ivc := &r.in[p][v]
+			if ivc.q.len() == 0 && ivc.state == vcIdle {
+				continue
+			}
+			f, _ := ivc.q.front()
+			s += fmt.Sprintf("  in[%d][%d]: len=%d state=%d out=%d/%d pend=%v front=%v\n",
+				p, v, ivc.q.len(), ivc.state, ivc.outPort, ivc.outVC, ivc.pendingST, f)
+		}
+	}
+	for p := range r.out {
+		for v := range r.out[p] {
+			ovc := &r.out[p][v]
+			s += fmt.Sprintf("  out[%d][%d]: free=%v credits=%d owner=%d/%d\n",
+				p, v, ovc.free, ovc.credits, ovc.ownerPort, ovc.ownerVC)
+		}
+	}
+	return s
+}
+
+// headClass returns the dateline VC class required by a head flit at this
+// router, or -1 when unrestricted. Classes apply only in dateline mode;
+// bubble flow control leaves VC choice free.
+func (r *XBRouter) headClass(f *flit.Flit) int {
+	if !r.cfg.Dateline {
+		return -1
+	}
+	if f.Packet == nil || f.Hop < 0 || f.Hop >= len(f.Packet.VCClasses) {
+		return -1
+	}
+	return f.Packet.VCClasses[f.Hop]
+}
+
+// allocatableVC returns an output VC at port o that the head flit f
+// (arriving through inPort) may be allocated, or -1. In bubble mode the VC
+// must have room for the whole packet (virtual cut-through) and, when the
+// packet is entering the ring rather than continuing around it, the ring
+// must retain a whole-packet bubble after admission.
+func (r *XBRouter) allocatableVC(o int, f *flit.Flit, inPort int) int {
+	class := r.headClass(f)
+	lo, hi := 0, r.cfg.VCs
+	if class >= 0 && r.cfg.VCs >= 2 && !r.isEjection(o) {
+		half := r.cfg.VCs / 2
+		if class == 0 {
+			hi = half
+		} else {
+			lo = half
+		}
+	}
+	need := packetLength(f)
+	entering := !r.cfg.sameDim(inPort, o)
+	for v := lo; v < hi; v++ {
+		ovc := &r.out[o][v]
+		if !ovc.free {
+			continue
+		}
+		if ovc.infinite {
+			return v
+		}
+		if !r.cfg.Bubble || r.cfg.Dateline {
+			if ovc.credits > 0 {
+				return v
+			}
+			continue
+		}
+		// Bubble mode: virtual cut-through admission plus ring bubble.
+		if ovc.credits < need {
+			continue
+		}
+		if entering {
+			if ref := r.outRings[o][v]; ref != nil && ref.ring.UsablePackets(need) < 2 {
+				continue
+			}
+		}
+		return v
+	}
+	return -1
+}
+
+// bubbleCredits returns the credit threshold of bubble flow control for a
+// head flit moving from inPort to outPort: space for one packet when
+// continuing straight through a ring, two when entering the ring.
+func (c Config) bubbleCredits(inPort, outPort int, f *flit.Flit) int {
+	n := packetLength(f)
+	if c.sameDim(inPort, outPort) {
+		return n
+	}
+	return 2 * n
+}

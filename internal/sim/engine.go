@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Module is a hardware block with per-cycle behaviour. Modules read values
+// that wires delivered this cycle (sent last cycle) and send new values for
+// next cycle, so tick order between modules does not affect results.
+type Module interface {
+	// Name identifies the module in diagnostics.
+	Name() string
+	// Tick advances the module by one cycle.
+	Tick(cycle int64) error
+}
+
+// Engine drives a set of modules and wires cycle by cycle.
+type Engine struct {
+	cycle   int64
+	modules []Module
+	wires   []Latchable
+	bus     *Bus
+}
+
+// NewEngine returns an engine publishing on the given bus. A nil bus is
+// replaced with a fresh one.
+func NewEngine(bus *Bus) *Engine {
+	if bus == nil {
+		bus = &Bus{}
+	}
+	return &Engine{bus: bus}
+}
+
+// Bus returns the engine's event bus.
+func (e *Engine) Bus() *Bus { return e.bus }
+
+// Cycle returns the current cycle number (the cycle the next Step will
+// execute).
+func (e *Engine) Cycle() int64 { return e.cycle }
+
+// Register adds a module; modules tick in registration order.
+func (e *Engine) Register(m Module) {
+	if m != nil {
+		e.modules = append(e.modules, m)
+	}
+}
+
+// Connect adds a wire (or any Latchable) to be latched after every cycle.
+func (e *Engine) Connect(w Latchable) {
+	if w != nil {
+		e.wires = append(e.wires, w)
+	}
+}
+
+// Step executes one cycle: every module ticks, then every wire latches.
+func (e *Engine) Step() error {
+	for _, m := range e.modules {
+		if err := m.Tick(e.cycle); err != nil {
+			return fmt.Errorf("sim: cycle %d: module %s: %w", e.cycle, m.Name(), err)
+		}
+	}
+	var errs []error
+	for _, w := range e.wires {
+		if err := w.Latch(); err != nil {
+			errs = append(errs, fmt.Errorf("sim: cycle %d: %w", e.cycle, err))
+		}
+	}
+	e.cycle++
+	return errors.Join(errs...)
+}
+
+// Run executes n cycles, stopping at the first error.
+func (e *Engine) Run(n int64) error {
+	for i := int64(0); i < n; i++ {
+		if err := e.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunUntil steps the engine until done returns true or the cycle limit is
+// reached. It returns the number of cycles executed and an error if the
+// limit was hit or a step failed.
+func (e *Engine) RunUntil(done func() bool, limit int64) (int64, error) {
+	start := e.cycle
+	for !done() {
+		if e.cycle-start >= limit {
+			return e.cycle - start, fmt.Errorf("sim: cycle limit %d reached without completion", limit)
+		}
+		if err := e.Step(); err != nil {
+			return e.cycle - start, err
+		}
+	}
+	return e.cycle - start, nil
+}

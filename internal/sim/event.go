@@ -1,0 +1,161 @@
+// Package sim is the simulation kernel on which the network is built.
+//
+// It plays the role of the Liberty Simulation Environment (LSE) in the
+// original Orion: hardware blocks are modelled as modules that communicate
+// through ports (typed wires with one-cycle latency), driven by a
+// cycle-stepped engine, and execution statistics are collected through an
+// event subsystem. "Power models in the power simulation library are hooked
+// to these events so when an event occurs during the execution, it triggers
+// the specific power model, which calculates and accumulates the energy
+// consumed" (paper Section 2.1); the hook point here is Bus.Subscribe.
+package sim
+
+import "fmt"
+
+// EventType identifies the microarchitectural action an Event reports.
+// Each corresponds to an energy-consuming operation in the paper's
+// walkthrough (Section 3.3) and power models (Section 3, Appendix).
+type EventType int
+
+const (
+	// EvBufferWrite: a flit was written into an input buffer (E_wrt).
+	EvBufferWrite EventType = iota
+	// EvBufferRead: a flit was read from an input buffer (E_read).
+	EvBufferRead
+	// EvArbitration: an arbiter performed an arbitration (E_arb).
+	EvArbitration
+	// EvVCAllocation: a virtual-channel allocator performed an
+	// allocation; modelled with arbiter energy (Section 2.2: wormhole
+	// and VC networks share modules with different configuration).
+	EvVCAllocation
+	// EvCrossbarTraversal: a flit traversed the crossbar (E_xb).
+	EvCrossbarTraversal
+	// EvLinkTraversal: a flit traversed an inter-router link (E_link).
+	EvLinkTraversal
+	// EvCentralBufWrite: a flit was written into a central buffer.
+	EvCentralBufWrite
+	// EvCentralBufRead: a flit was read from a central buffer.
+	EvCentralBufRead
+	// EvPipelineReg: central-buffer pipeline registers clocked a flit.
+	EvPipelineReg
+
+	numEventTypes = iota
+)
+
+// String implements fmt.Stringer.
+func (t EventType) String() string {
+	switch t {
+	case EvBufferWrite:
+		return "buffer-write"
+	case EvBufferRead:
+		return "buffer-read"
+	case EvArbitration:
+		return "arbitration"
+	case EvVCAllocation:
+		return "vc-allocation"
+	case EvCrossbarTraversal:
+		return "crossbar-traversal"
+	case EvLinkTraversal:
+		return "link-traversal"
+	case EvCentralBufWrite:
+		return "central-buffer-write"
+	case EvCentralBufRead:
+		return "central-buffer-read"
+	case EvPipelineReg:
+		return "pipeline-register"
+	default:
+		return fmt.Sprintf("EventType(%d)", int(t))
+	}
+}
+
+// NumEventTypes is the count of defined event types, for sizing tables.
+const NumEventTypes = int(numEventTypes)
+
+// Event reports one energy-consuming action. Power models subscribed to the
+// Bus translate events into joules using the capacitance equations of
+// Section 3; data-dependent models use Data (and PrevData where the emitter
+// knows the overwritten value) to count real bit switching.
+type Event struct {
+	// Type is the action class.
+	Type EventType
+	// Cycle is the simulation cycle the action occurred in.
+	Cycle int64
+	// Node is the network node the acting component belongs to
+	// (-1 when not applicable).
+	Node int
+	// Port is the component instance within the node: the input port of
+	// a buffer, the arbiter's port index, the input line of a crossbar,
+	// the output direction of a link, or the write port / bank of a
+	// central buffer access.
+	Port int
+	// OutPort is the second coordinate where an action spans two ports:
+	// the crossbar output line, or the read port / bank of a central
+	// buffer access.
+	OutPort int
+	// VC is the virtual channel involved, or -1.
+	VC int
+	// Stage distinguishes the two stages of a separable allocator for
+	// arbitration events (StageInput or StageOutput).
+	Stage int
+	// Data is the value involved in the action (the flit payload written,
+	// read, or traversing). May be nil for purely control actions.
+	Data []uint64
+	// ReqVector is the arbitration request bitmask (bit i set when
+	// requester i requests), used by arbiter models to derive
+	// request-line switching.
+	ReqVector uint64
+	// Winner is the granted requester of an arbitration, or -1.
+	Winner int
+}
+
+// Separable-allocator stages for Event.Stage. Virtual-channel and switch
+// allocators arbitrate first among the VCs of each input port, then among
+// input ports at each output port.
+const (
+	// StageInput is the per-input-port arbitration stage.
+	StageInput = 0
+	// StageOutput is the per-output-port arbitration stage; its grant
+	// also drives the crossbar control lines (Appendix: E_xb_ctr is
+	// accounted with E_arb).
+	StageOutput = 1
+)
+
+// Listener receives published events. The event and its slices must not be
+// retained beyond the call.
+type Listener func(*Event)
+
+// Bus is the event subsystem. Modules publish events; power models and
+// statistics collectors subscribe. The zero value is ready to use.
+type Bus struct {
+	listeners []Listener
+	// Count tallies published events by type; always maintained, even
+	// with no listeners, so tests can assert module behaviour cheaply.
+	Count [NumEventTypes]int64
+}
+
+// Subscribe registers a listener for all subsequent events.
+func (b *Bus) Subscribe(l Listener) {
+	if l == nil {
+		return
+	}
+	b.listeners = append(b.listeners, l)
+}
+
+// Publish delivers an event to all listeners in subscription order.
+func (b *Bus) Publish(e *Event) {
+	if e.Type >= 0 && int(e.Type) < NumEventTypes {
+		b.Count[e.Type]++
+	}
+	for _, l := range b.listeners {
+		l(e)
+	}
+}
+
+// Total returns the total number of events published.
+func (b *Bus) Total() int64 {
+	var n int64
+	for _, c := range b.Count {
+		n += c
+	}
+	return n
+}

@@ -1,0 +1,98 @@
+package sim
+
+import "fmt"
+
+// Latchable is anything with per-cycle state the engine must commit between
+// cycles. All wires registered with an Engine are latched after every tick.
+type Latchable interface {
+	// Latch commits the value written this cycle so it becomes visible
+	// next cycle. It reports an error if a previously delivered value was
+	// never consumed and is about to be overwritten (a flow-control bug).
+	Latch() error
+}
+
+// Wire is a typed port-to-port connection with exactly one cycle of
+// latency, the LSE message-passing analog. At most one value may be sent
+// per cycle; the value becomes visible to the receiver on the next cycle.
+//
+// Wires model the paper's single-cycle data and credit channels
+// (Section 4.1: "propagation delay across data and credit channels is
+// assumed to take a single cycle").
+type Wire[T any] struct {
+	name     string
+	cur      *T
+	next     *T
+	strict   bool
+	dropped  int64
+	consumed bool
+}
+
+// NewWire returns a strict wire: overwriting an unconsumed value is an
+// error surfaced at Latch. Use NewLossyWire where values may legitimately
+// be dropped.
+func NewWire[T any](name string) *Wire[T] {
+	return &Wire[T]{name: name, strict: true}
+}
+
+// NewLossyWire returns a wire that silently drops unconsumed values,
+// counting them in Dropped.
+func NewLossyWire[T any](name string) *Wire[T] {
+	return &Wire[T]{name: name}
+}
+
+// Name returns the wire's diagnostic name.
+func (w *Wire[T]) Name() string { return w.name }
+
+// Send places a value on the wire for delivery next cycle. It reports an
+// error if a value was already sent this cycle.
+func (w *Wire[T]) Send(v T) error {
+	if w.next != nil {
+		return fmt.Errorf("sim: wire %q: double send in one cycle", w.name)
+	}
+	w.next = &v
+	return nil
+}
+
+// Busy reports whether a value has already been sent this cycle.
+func (w *Wire[T]) Busy() bool { return w.next != nil }
+
+// Peek returns the value visible this cycle without consuming it.
+func (w *Wire[T]) Peek() (T, bool) {
+	if w.cur == nil {
+		var zero T
+		return zero, false
+	}
+	return *w.cur, true
+}
+
+// Take consumes and returns the value visible this cycle.
+func (w *Wire[T]) Take() (T, bool) {
+	if w.cur == nil {
+		var zero T
+		return zero, false
+	}
+	v := *w.cur
+	w.cur = nil
+	w.consumed = true
+	return v, true
+}
+
+// Dropped returns the number of values lost on a lossy wire.
+func (w *Wire[T]) Dropped() int64 { return w.dropped }
+
+// Latch implements Latchable.
+func (w *Wire[T]) Latch() error {
+	if w.cur != nil {
+		w.dropped++
+		if w.strict {
+			leftover := w.cur
+			w.cur = w.next
+			w.next = nil
+			return fmt.Errorf("sim: wire %q: value %v not consumed before next delivery", w.name, *leftover)
+		}
+	}
+	w.cur = w.next
+	w.next = nil
+	w.consumed = false
+	return nil
+}

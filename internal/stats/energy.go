@@ -1,0 +1,214 @@
+// Package stats collects performance and power statistics.
+//
+// The paper's measurement protocol (Section 4.1): each simulation warms up
+// for 1000 cycles, then 10,000 packets are tagged and injected, and the
+// simulation continues until all of them are received. Latency spans from
+// packet creation (including source queuing) to last-flit ejection. "The
+// simulator records energy consumption of each component (input buffer,
+// crossbar, arbiter, link) of a node over the entire simulation excluding
+// the first 1000 cycles. Average power is then computed by multiplying the
+// total energy by frequency and then dividing by total simulation cycles."
+package stats
+
+import "fmt"
+
+// Component is a per-node energy category, matching the breakdowns of
+// Figures 5(c), 7(c) and 7(f).
+type Component int
+
+const (
+	// CompBuffer is input-buffer read/write energy.
+	CompBuffer Component = iota
+	// CompCrossbar is crossbar traversal energy.
+	CompCrossbar
+	// CompArbiter is arbitration energy (including the crossbar control
+	// lines driven by grants, per the Appendix).
+	CompArbiter
+	// CompLink is link traversal energy (dynamic; the constant power of
+	// chip-to-chip links is reported separately).
+	CompLink
+	// CompCentralBuffer is central-buffer access energy (banks, internal
+	// crossbars and pipeline registers).
+	CompCentralBuffer
+
+	// NumComponents is the number of categories.
+	NumComponents
+)
+
+// String implements fmt.Stringer.
+func (c Component) String() string {
+	switch c {
+	case CompBuffer:
+		return "buffer"
+	case CompCrossbar:
+		return "crossbar"
+	case CompArbiter:
+		return "arbiter"
+	case CompLink:
+		return "link"
+	case CompCentralBuffer:
+		return "central-buffer"
+	default:
+		return fmt.Sprintf("Component(%d)", int(c))
+	}
+}
+
+// EnergyAccount accumulates joules per node per component. Recording can
+// be disabled during warm-up (Section 4.1 excludes the first 1000 cycles).
+type EnergyAccount struct {
+	energy    [][NumComponents]float64
+	recording bool
+}
+
+// NewEnergyAccount returns an account for the given node count, initially
+// not recording.
+func NewEnergyAccount(nodes int) *EnergyAccount {
+	return &EnergyAccount{energy: make([][NumComponents]float64, nodes)}
+}
+
+// SetRecording enables or disables accumulation.
+func (a *EnergyAccount) SetRecording(on bool) { a.recording = on }
+
+// Recording reports whether accumulation is enabled.
+func (a *EnergyAccount) Recording() bool { return a.recording }
+
+// Nodes returns the node count.
+func (a *EnergyAccount) Nodes() int { return len(a.energy) }
+
+// Add accumulates joules for a node/component. Out-of-range nodes and
+// components are ignored (defensive: events from misconfigured modules must
+// not corrupt neighbouring counters).
+func (a *EnergyAccount) Add(node int, c Component, joules float64) {
+	if !a.recording || node < 0 || node >= len(a.energy) || c < 0 || c >= NumComponents {
+		return
+	}
+	a.energy[node][c] += joules
+}
+
+// Node returns one node's energy by component.
+func (a *EnergyAccount) Node(node int) [NumComponents]float64 {
+	if node < 0 || node >= len(a.energy) {
+		return [NumComponents]float64{}
+	}
+	return a.energy[node]
+}
+
+// NodeTotal returns one node's total energy.
+func (a *EnergyAccount) NodeTotal(node int) float64 {
+	var t float64
+	for _, e := range a.Node(node) {
+		t += e
+	}
+	return t
+}
+
+// ByComponent returns network-wide energy per component.
+func (a *EnergyAccount) ByComponent() [NumComponents]float64 {
+	var out [NumComponents]float64
+	for _, n := range a.energy {
+		for c, e := range n {
+			out[c] += e
+		}
+	}
+	return out
+}
+
+// Total returns network-wide total energy.
+func (a *EnergyAccount) Total() float64 {
+	var t float64
+	for _, e := range a.ByComponent() {
+		t += e
+	}
+	return t
+}
+
+// PowerBreakdown converts accumulated energy into average power in watts:
+// P = E · f_clk / cycles (Section 4.1), plus any constant (traffic-
+// insensitive) link power and optional static (leakage) power.
+type PowerBreakdown struct {
+	// NodeWatts[n][c] is node n's average dynamic power for component c.
+	NodeWatts [][NumComponents]float64
+	// NodeConstWatts[n] is node n's constant link power.
+	NodeConstWatts []float64
+	// NodeStaticWatts[n][c] is node n's leakage power per component
+	// (zero unless the run enabled leakage modelling, which is an
+	// extension beyond the dynamic-only MICRO 2002 models).
+	NodeStaticWatts [][NumComponents]float64
+}
+
+// Power computes the breakdown over the measured cycles at frequency
+// freqHz. constLinkWatts[n] is node n's traffic-insensitive link power
+// (nil for on-chip networks); staticWatts[n][c] is per-node per-component
+// leakage power (nil when leakage is not modelled).
+func (a *EnergyAccount) Power(freqHz float64, cycles int64, constLinkWatts []float64, staticWatts [][NumComponents]float64) (*PowerBreakdown, error) {
+	if cycles <= 0 {
+		return nil, fmt.Errorf("stats: cannot compute power over %d cycles", cycles)
+	}
+	if freqHz <= 0 {
+		return nil, fmt.Errorf("stats: frequency must be positive, got %g", freqHz)
+	}
+	pb := &PowerBreakdown{
+		NodeWatts:       make([][NumComponents]float64, len(a.energy)),
+		NodeConstWatts:  make([]float64, len(a.energy)),
+		NodeStaticWatts: make([][NumComponents]float64, len(a.energy)),
+	}
+	scale := freqHz / float64(cycles)
+	for n := range a.energy {
+		for c := range a.energy[n] {
+			pb.NodeWatts[n][c] = a.energy[n][c] * scale
+		}
+		if n < len(constLinkWatts) {
+			pb.NodeConstWatts[n] = constLinkWatts[n]
+		}
+		if n < len(staticWatts) {
+			pb.NodeStaticWatts[n] = staticWatts[n]
+		}
+	}
+	return pb, nil
+}
+
+// NodeTotal returns node n's total average power including constant link
+// power and leakage.
+func (p *PowerBreakdown) NodeTotal(n int) float64 {
+	if n < 0 || n >= len(p.NodeWatts) {
+		return 0
+	}
+	t := p.NodeConstWatts[n]
+	for c, w := range p.NodeWatts[n] {
+		t += w + p.NodeStaticWatts[n][c]
+	}
+	return t
+}
+
+// Total returns network-wide total average power.
+func (p *PowerBreakdown) Total() float64 {
+	var t float64
+	for n := range p.NodeWatts {
+		t += p.NodeTotal(n)
+	}
+	return t
+}
+
+// StaticTotal returns network-wide leakage power.
+func (p *PowerBreakdown) StaticTotal() float64 {
+	var t float64
+	for n := range p.NodeStaticWatts {
+		for _, w := range p.NodeStaticWatts[n] {
+			t += w
+		}
+	}
+	return t
+}
+
+// ByComponent returns network-wide power per component; constant link
+// power is folded into the link component and leakage into its component.
+func (p *PowerBreakdown) ByComponent() [NumComponents]float64 {
+	var out [NumComponents]float64
+	for n := range p.NodeWatts {
+		for c, w := range p.NodeWatts[n] {
+			out[c] += w + p.NodeStaticWatts[n][c]
+		}
+		out[CompLink] += p.NodeConstWatts[n]
+	}
+	return out
+}

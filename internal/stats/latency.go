@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// LatencySampler accumulates packet latencies over the measurement sample.
+// Latency spans packet creation (including source queuing) to last-flit
+// ejection (Section 4.1). All samples are retained so percentiles can be
+// reported alongside the mean.
+type LatencySampler struct {
+	count int64
+	sum   float64
+	sumSq float64
+	min   float64
+	max   float64
+	// flits counts sample flits ejected, for throughput.
+	flits   int64
+	samples []float64
+	sorted  bool
+}
+
+// NewLatencySampler returns an empty sampler.
+func NewLatencySampler() *LatencySampler {
+	return &LatencySampler{min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// RecordPacket records one delivered sample packet.
+func (s *LatencySampler) RecordPacket(createdAt, lastFlitEjectedAt int64, flits int) {
+	lat := float64(lastFlitEjectedAt - createdAt)
+	s.count++
+	s.sum += lat
+	s.sumSq += lat * lat
+	if lat < s.min {
+		s.min = lat
+	}
+	if lat > s.max {
+		s.max = lat
+	}
+	s.flits += int64(flits)
+	s.samples = append(s.samples, lat)
+	s.sorted = false
+}
+
+// StdDev returns the sample standard deviation (0 with fewer than two
+// samples).
+func (s *LatencySampler) StdDev() float64 {
+	if s.count < 2 {
+		return 0
+	}
+	n := float64(s.count)
+	v := (s.sumSq - s.sum*s.sum/n) / (n - 1)
+	if v < 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}
+
+// Percentile returns the p-th percentile latency (p in [0,100]) using the
+// nearest-rank method; 0 when empty.
+func (s *LatencySampler) Percentile(p float64) float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.samples)
+		s.sorted = true
+	}
+	if p <= 0 {
+		return s.samples[0]
+	}
+	if p >= 100 {
+		return s.samples[len(s.samples)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(s.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	return s.samples[rank-1]
+}
+
+// Count returns the number of recorded packets.
+func (s *LatencySampler) Count() int64 { return s.count }
+
+// Flits returns the number of recorded flits.
+func (s *LatencySampler) Flits() int64 { return s.flits }
+
+// Mean returns the average latency in cycles (0 when empty).
+func (s *LatencySampler) Mean() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.sum / float64(s.count)
+}
+
+// Min returns the minimum latency (0 when empty).
+func (s *LatencySampler) Min() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the maximum latency (0 when empty).
+func (s *LatencySampler) Max() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// SaturationRate returns the lowest injection rate whose latency exceeds
+// twice the zero-load latency — the paper's saturation definition
+// (Section 4.1: "the point at which average packet latency increases to
+// more than twice zero-load latency"). The rates must be sorted ascending
+// with matching latencies. ok is false when the network never saturates in
+// the measured range.
+func SaturationRate(rates, latencies []float64, zeroLoad float64) (rate float64, ok bool) {
+	if len(rates) != len(latencies) || zeroLoad <= 0 {
+		return 0, false
+	}
+	idx := make([]int, len(rates))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return rates[idx[a]] < rates[idx[b]] })
+	for _, i := range idx {
+		if latencies[i] > 2*zeroLoad {
+			return rates[i], true
+		}
+	}
+	return 0, false
+}
+
+// Heatmap renders per-node values as a width×height grid, origin (0,0) at
+// the bottom-left, matching the paper's Cartesian node labels (Figure 6).
+// Values are printed with the given format verb (e.g. "%.3f").
+func Heatmap(values []float64, width, height int, verb string) (string, error) {
+	if width*height != len(values) {
+		return "", fmt.Errorf("stats: %d values do not fill a %d×%d grid", len(values), width, height)
+	}
+	var b strings.Builder
+	for y := height - 1; y >= 0; y-- {
+		for x := 0; x < width; x++ {
+			if x > 0 {
+				b.WriteByte('\t')
+			}
+			fmt.Fprintf(&b, verb, values[y*width+x])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}

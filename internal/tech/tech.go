@@ -1,0 +1,281 @@
+// Package tech models CMOS process technology parameters.
+//
+// It plays the role that Cacti and Wattch play in the original Orion
+// simulator: supplying first-order gate, diffusion and wire capacitance
+// coefficients, SRAM cell geometry, default transistor sizes, and a
+// load-based driver-sizing rule. All capacitances are in farads, all
+// geometry in micrometres, all voltages in volts, all energies in joules.
+//
+// The default parameter set describes the 0.1 µm process used throughout
+// the paper's evaluation (Section 4.2: Vdd = 1.2 V, 2 GHz). The wire
+// capacitance coefficient is chosen so that the paper's stated link
+// capacitance — 1.08 pF per 3 mm — is matched exactly (0.36 fF/µm).
+package tech
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Params holds the technology parameters for one process node.
+//
+// The zero value is not usable; obtain a Params from Default or Scaled and
+// adjust fields as needed, then call Validate.
+type Params struct {
+	// Name identifies the process node, e.g. "generic-100nm".
+	Name string
+
+	// FeatureUm is the drawn feature size (transistor channel length) in µm.
+	FeatureUm float64
+
+	// Vdd is the supply voltage in volts.
+	Vdd float64
+
+	// FreqHz is the clock frequency in hertz. Average power is derived
+	// from accumulated energy as P = E * FreqHz / cycles.
+	FreqHz float64
+
+	// CgPerUm is gate capacitance per µm of transistor width (F/µm).
+	CgPerUm float64
+
+	// CdPerUm is drain/diffusion capacitance per µm of transistor width (F/µm).
+	CdPerUm float64
+
+	// CwPerUm is metal wire capacitance per µm of wire length (F/µm).
+	CwPerUm float64
+
+	// SRAM cell geometry (Table 2 technological parameters).
+	CellHeightUm  float64 // h_cell: memory cell height
+	CellWidthUm   float64 // w_cell: memory cell width
+	WireSpacingUm float64 // d_w: wire spacing (pitch of one routed wire)
+
+	// XbarPitchUm is the crossbar datapath wire pitch (Table 3's d_w for
+	// the switch fabric). Crossbar wires are routed much wider than SRAM
+	// bitlines — heavily buffered, shielded and spaced for speed — which
+	// is what makes the switch fabric, not the 3 mm inter-router link,
+	// the dominant datapath power consumer in the paper's on-chip
+	// accounting (Section 4.2, footnote 7).
+	XbarPitchUm float64
+
+	// Default transistor widths in µm. Drivers (wordline, bitline write,
+	// crossbar input/output) are instead sized from their load via
+	// DriverWidth.
+	WPass      float64 // T_p: pass transistor connecting bitline and cell
+	WCellInv   float64 // T_m: memory cell inverter
+	WPrecharge float64 // T_c: read bitline precharge transistor
+	WNor       float64 // per-input width of arbiter NOR gates
+	WInv       float64 // arbiter inverter
+	WConnector float64 // crossbar crosspoint connector transistor
+	WFlipFlop  float64 // per-gate width inside a flip-flop
+
+	// DrivePerUm is the load capacitance (F) one µm of driver width is
+	// sized to drive. DriverWidth(load) = load / DrivePerUm, clamped to
+	// [WDriverMin, WDriverMax]. This stands in for Cacti's iterative
+	// driver-sizing: wider loads get proportionally wider drivers.
+	DrivePerUm float64
+	WDriverMin float64
+	WDriverMax float64
+
+	// SenseAmpCap is the empirical switched capacitance of one sense
+	// amplifier activation (F). The paper takes E_amp from an empirical
+	// model [Zyuban & Kogge]; we expose it as a constant per bitline read.
+	SenseAmpCap float64
+
+	// LeakageNAPerUm is the subthreshold leakage current per µm of
+	// transistor width, in nanoamperes. The MICRO 2002 paper models
+	// dynamic power only; leakage is the extension direction its
+	// successors (Orion 2.0) took, provided here as an option. At
+	// 0.1 µm, off-currents of tens of nA/µm are typical.
+	LeakageNAPerUm float64
+}
+
+// Default returns the parameters for the generic 0.1 µm process used in the
+// paper's on-chip evaluation (Section 4.2).
+func Default() Params {
+	return Params{
+		Name:      "generic-100nm",
+		FeatureUm: 0.1,
+		Vdd:       1.2,
+		FreqHz:    2e9,
+
+		// Cox ≈ 16 fF/µm² with L = 0.1 µm gives ≈ 1.6 fF per µm of width.
+		CgPerUm: 1.6e-15,
+		CdPerUm: 1.0e-15,
+		// 1.08 pF / 3 mm (paper Section 4.2).
+		CwPerUm: 0.36e-15,
+
+		CellHeightUm:  1.0,
+		CellWidthUm:   1.6,
+		WireSpacingUm: 0.4,
+		XbarPitchUm:   3.0,
+
+		WPass:      2.0,
+		WCellInv:   1.0,
+		WPrecharge: 4.0,
+		WNor:       1.0,
+		WInv:       1.0,
+		WConnector: 8.0,
+		WFlipFlop:  1.0,
+
+		DrivePerUm: 5.0e-15,
+		WDriverMin: 0.5,
+		WDriverMax: 300.0,
+
+		// Sense amplifier plus column circuitry switched per bitline
+		// read; the paper takes E_amp from an empirical model [28].
+		SenseAmpCap: 60.0e-15,
+
+		LeakageNAPerUm: 20,
+	}
+}
+
+// Known supply voltages by feature size, used by Scaled. Values follow the
+// ITRS-style progression used by Wattch-era scaling tables.
+var vddByFeature = map[float64]float64{
+	0.25: 2.5,
+	0.18: 1.8,
+	0.13: 1.5,
+	0.10: 1.2,
+	0.07: 0.9,
+}
+
+// Scaled returns a copy of p linearly scaled to another feature size.
+// Geometry and capacitance coefficients scale proportionally with feature
+// size; Vdd follows a lookup of standard node voltages when the target node
+// is known, and otherwise scales linearly.
+func (p Params) Scaled(featureUm float64) (Params, error) {
+	if featureUm <= 0 {
+		return Params{}, fmt.Errorf("tech: feature size must be positive, got %g", featureUm)
+	}
+	if p.FeatureUm <= 0 {
+		return Params{}, errors.New("tech: source parameters have no feature size")
+	}
+	s := featureUm / p.FeatureUm
+	q := p
+	q.Name = fmt.Sprintf("%s-scaled-%gum", p.Name, featureUm)
+	q.FeatureUm = featureUm
+	q.CgPerUm *= s
+	q.CdPerUm *= s
+	q.CwPerUm *= s
+	q.CellHeightUm *= s
+	q.CellWidthUm *= s
+	q.WireSpacingUm *= s
+	q.XbarPitchUm *= s
+	q.WPass *= s
+	q.WCellInv *= s
+	q.WPrecharge *= s
+	q.WNor *= s
+	q.WInv *= s
+	q.WConnector *= s
+	q.WFlipFlop *= s
+	q.WDriverMin *= s
+	q.WDriverMax *= s
+	q.DrivePerUm *= s
+	q.SenseAmpCap *= s
+	// Leakage per µm grows as channels shorten; first-order inverse
+	// scaling captures the trend without a full BSIM model.
+	if s > 0 {
+		q.LeakageNAPerUm /= s
+	}
+	if v, ok := vddByFeature[featureUm]; ok {
+		q.Vdd = v
+	} else {
+		q.Vdd = p.Vdd * s
+	}
+	return q, nil
+}
+
+// Validate reports an error if any parameter is non-physical.
+func (p Params) Validate() error {
+	checks := []struct {
+		name string
+		v    float64
+	}{
+		{"FeatureUm", p.FeatureUm},
+		{"Vdd", p.Vdd},
+		{"FreqHz", p.FreqHz},
+		{"CgPerUm", p.CgPerUm},
+		{"CdPerUm", p.CdPerUm},
+		{"CwPerUm", p.CwPerUm},
+		{"CellHeightUm", p.CellHeightUm},
+		{"CellWidthUm", p.CellWidthUm},
+		{"WireSpacingUm", p.WireSpacingUm},
+		{"XbarPitchUm", p.XbarPitchUm},
+		{"WPass", p.WPass},
+		{"WCellInv", p.WCellInv},
+		{"WPrecharge", p.WPrecharge},
+		{"WNor", p.WNor},
+		{"WInv", p.WInv},
+		{"WConnector", p.WConnector},
+		{"WFlipFlop", p.WFlipFlop},
+		{"DrivePerUm", p.DrivePerUm},
+		{"WDriverMin", p.WDriverMin},
+		{"WDriverMax", p.WDriverMax},
+		{"SenseAmpCap", p.SenseAmpCap},
+		{"LeakageNAPerUm", p.LeakageNAPerUm},
+	}
+	for _, c := range checks {
+		if c.v <= 0 || math.IsNaN(c.v) || math.IsInf(c.v, 0) {
+			return fmt.Errorf("tech: %s must be positive and finite, got %g", c.name, c.v)
+		}
+	}
+	if p.WDriverMin > p.WDriverMax {
+		return fmt.Errorf("tech: WDriverMin (%g) exceeds WDriverMax (%g)", p.WDriverMin, p.WDriverMax)
+	}
+	return nil
+}
+
+// Cg returns the gate capacitance of a transistor (or one gate input) of
+// the given width in µm.
+func (p Params) Cg(widthUm float64) float64 { return p.CgPerUm * widthUm }
+
+// Cd returns the drain/diffusion capacitance of a transistor of the given
+// width in µm.
+func (p Params) Cd(widthUm float64) float64 { return p.CdPerUm * widthUm }
+
+// Ca returns Cg + Cd for a transistor of the given width (Table 1).
+func (p Params) Ca(widthUm float64) float64 { return p.Cg(widthUm) + p.Cd(widthUm) }
+
+// Cw returns the capacitance of a metal wire of the given length in µm
+// (Table 1).
+func (p Params) Cw(lengthUm float64) float64 { return p.CwPerUm * lengthUm }
+
+// DriverWidth returns the width in µm of a driver sized to drive the given
+// load capacitance. This mirrors Orion's rule that "sizes of driver
+// transistors ... are computed according to their load capacitance".
+func (p Params) DriverWidth(loadF float64) float64 {
+	if loadF <= 0 {
+		return p.WDriverMin
+	}
+	w := loadF / p.DrivePerUm
+	if w < p.WDriverMin {
+		return p.WDriverMin
+	}
+	if w > p.WDriverMax {
+		return p.WDriverMax
+	}
+	return w
+}
+
+// EnergyPerSwitch returns ½·C·Vdd², the energy dissipated per switching
+// event of a node with capacitance capF (Table 1, E_x).
+func (p Params) EnergyPerSwitch(capF float64) float64 {
+	return 0.5 * capF * p.Vdd * p.Vdd
+}
+
+// EnergyFullSwing returns C·Vdd², used where a full charge/discharge pair is
+// counted as one event (Table 1 permits either convention "depending on how
+// to count switches").
+func (p Params) EnergyFullSwing(capF float64) float64 {
+	return capF * p.Vdd * p.Vdd
+}
+
+// StaticPower returns the leakage power in watts of the given total
+// transistor width: P = I_off(W) · Vdd.
+func (p Params) StaticPower(widthUm float64) float64 {
+	if widthUm <= 0 {
+		return 0
+	}
+	return widthUm * p.LeakageNAPerUm * 1e-9 * p.Vdd
+}

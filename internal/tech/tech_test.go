@@ -1,0 +1,170 @@
+package tech
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("Default() does not validate: %v", err)
+	}
+}
+
+func TestDefaultMatchesPaperLinkCapacitance(t *testing.T) {
+	// Section 4.2: "Link capacitance is 1.08pF/3mm".
+	p := Default()
+	got := p.Cw(3000) // 3 mm in µm
+	want := 1.08e-12
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("Cw(3mm) = %g F, want %g F", got, want)
+	}
+}
+
+func TestCapacitanceHelpers(t *testing.T) {
+	p := Default()
+	if got, want := p.Cg(2), 2*p.CgPerUm; got != want {
+		t.Errorf("Cg(2) = %g, want %g", got, want)
+	}
+	if got, want := p.Cd(2), 2*p.CdPerUm; got != want {
+		t.Errorf("Cd(2) = %g, want %g", got, want)
+	}
+	if got, want := p.Ca(3), p.Cg(3)+p.Cd(3); got != want {
+		t.Errorf("Ca(3) = %g, want %g", got, want)
+	}
+}
+
+func TestEnergyPerSwitch(t *testing.T) {
+	p := Default()
+	c := 1e-12
+	want := 0.5 * c * p.Vdd * p.Vdd
+	if got := p.EnergyPerSwitch(c); got != want {
+		t.Errorf("EnergyPerSwitch = %g, want %g", got, want)
+	}
+	if got := p.EnergyFullSwing(c); got != 2*want {
+		t.Errorf("EnergyFullSwing = %g, want %g", got, 2*want)
+	}
+}
+
+func TestDriverWidthClamping(t *testing.T) {
+	p := Default()
+	if got := p.DriverWidth(0); got != p.WDriverMin {
+		t.Errorf("DriverWidth(0) = %g, want min %g", got, p.WDriverMin)
+	}
+	if got := p.DriverWidth(-1); got != p.WDriverMin {
+		t.Errorf("DriverWidth(-1) = %g, want min %g", got, p.WDriverMin)
+	}
+	huge := 1.0 // 1 F, absurd load
+	if got := p.DriverWidth(huge); got != p.WDriverMax {
+		t.Errorf("DriverWidth(huge) = %g, want max %g", got, p.WDriverMax)
+	}
+	// In-range load sizes proportionally.
+	load := 50e-15
+	want := load / p.DrivePerUm
+	if got := p.DriverWidth(load); math.Abs(got-want) > 1e-12 {
+		t.Errorf("DriverWidth(%g) = %g, want %g", load, got, want)
+	}
+}
+
+func TestDriverWidthMonotonic(t *testing.T) {
+	p := Default()
+	err := quick.Check(func(a, b float64) bool {
+		a = math.Abs(a)
+		b = math.Abs(b)
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return p.DriverWidth(lo*1e-15) <= p.DriverWidth(hi*1e-15)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	p := Default()
+	q, err := p.Scaled(0.05)
+	if err != nil {
+		t.Fatalf("Scaled: %v", err)
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatalf("scaled params do not validate: %v", err)
+	}
+	if got, want := q.CwPerUm, p.CwPerUm*0.5; math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("scaled CwPerUm = %g, want %g", got, want)
+	}
+	if got, want := q.CellWidthUm, p.CellWidthUm*0.5; math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("scaled CellWidthUm = %g, want %g", got, want)
+	}
+	// 0.05 is not in the Vdd table: linear scaling.
+	if got, want := q.Vdd, p.Vdd*0.5; math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("scaled Vdd = %g, want %g", got, want)
+	}
+}
+
+func TestScaledKnownNodeVdd(t *testing.T) {
+	p := Default()
+	q, err := p.Scaled(0.18)
+	if err != nil {
+		t.Fatalf("Scaled: %v", err)
+	}
+	if q.Vdd != 1.8 {
+		t.Errorf("Vdd at 0.18µm = %g, want 1.8", q.Vdd)
+	}
+	q, err = p.Scaled(0.07)
+	if err != nil {
+		t.Fatalf("Scaled: %v", err)
+	}
+	if q.Vdd != 0.9 {
+		t.Errorf("Vdd at 0.07µm = %g, want 0.9", q.Vdd)
+	}
+}
+
+func TestScaledErrors(t *testing.T) {
+	p := Default()
+	if _, err := p.Scaled(0); err == nil {
+		t.Error("Scaled(0) should fail")
+	}
+	if _, err := p.Scaled(-1); err == nil {
+		t.Error("Scaled(-1) should fail")
+	}
+	var zero Params
+	if _, err := zero.Scaled(0.1); err == nil {
+		t.Error("Scaled from zero-value params should fail")
+	}
+}
+
+func TestValidateCatchesBadFields(t *testing.T) {
+	cases := []func(*Params){
+		func(p *Params) { p.Vdd = 0 },
+		func(p *Params) { p.FreqHz = -1 },
+		func(p *Params) { p.CgPerUm = math.NaN() },
+		func(p *Params) { p.CwPerUm = math.Inf(1) },
+		func(p *Params) { p.CellHeightUm = 0 },
+		func(p *Params) { p.WPass = -0.5 },
+		func(p *Params) { p.SenseAmpCap = 0 },
+		func(p *Params) { p.WDriverMin, p.WDriverMax = 10, 1 },
+	}
+	for i, mutate := range cases {
+		p := Default()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate() accepted bad params", i)
+		}
+	}
+}
+
+func TestEnergyScalesWithVddSquared(t *testing.T) {
+	p := Default()
+	q := p
+	q.Vdd = 2 * p.Vdd
+	c := 1e-13
+	if got, want := q.EnergyPerSwitch(c), 4*p.EnergyPerSwitch(c); math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("energy at 2×Vdd = %g, want %g", got, want)
+	}
+}

@@ -1,0 +1,226 @@
+package topology
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NTorus is a k-ary n-cube: an n-dimensional torus with per-dimension
+// radices, the general topology family of which the paper's 4×4 torus is
+// the 2-D instance. Ports are numbered 2d (+ direction of dimension d) and
+// 2d+1 (− direction), with the local injection/ejection port last.
+//
+// Dimension-ordered source routing exhausts dimensions in index order;
+// deadlock avoidance (bubble flow control or dateline classes) works per
+// unidirectional ring exactly as in 2-D.
+type NTorus struct {
+	// Dims are the radices per dimension, e.g. {4, 4, 4} for a 4-ary
+	// 3-cube.
+	Dims []int
+	// BalancedTies alternates half-ring tie directions by source parity
+	// (see Torus.BalancedTies).
+	BalancedTies bool
+
+	strides []int
+	nodes   int
+}
+
+// NewNTorus returns an n-dimensional torus with the given radices.
+func NewNTorus(dims ...int) (*NTorus, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("topology: n-torus needs at least one dimension")
+	}
+	t := &NTorus{Dims: append([]int(nil), dims...)}
+	t.nodes = 1
+	t.strides = make([]int, len(dims))
+	for d, k := range dims {
+		if k <= 0 {
+			return nil, fmt.Errorf("topology: n-torus dimension %d has radix %d", d, k)
+		}
+		t.strides[d] = t.nodes
+		t.nodes *= k
+	}
+	return t, nil
+}
+
+// Name implements Topology.
+func (t *NTorus) Name() string {
+	parts := make([]string, len(t.Dims))
+	for i, k := range t.Dims {
+		parts[i] = fmt.Sprintf("%d", k)
+	}
+	return strings.Join(parts, "x") + " torus"
+}
+
+// Nodes implements Topology.
+func (t *NTorus) Nodes() int { return t.nodes }
+
+// Ports implements Topology: two per dimension plus the local port.
+func (t *NTorus) Ports() int { return 2*len(t.Dims) + 1 }
+
+// LocalPort returns the injection/ejection port index.
+func (t *NTorus) LocalPort() int { return 2 * len(t.Dims) }
+
+// PlusPort and MinusPort return the ports moving along dimension d.
+func (t *NTorus) PlusPort(d int) int  { return 2 * d }
+func (t *NTorus) MinusPort(d int) int { return 2*d + 1 }
+
+// Coords returns the node's coordinate vector.
+func (t *NTorus) Coords(node int) []int {
+	c := make([]int, len(t.Dims))
+	for d := range t.Dims {
+		c[d] = (node / t.strides[d]) % t.Dims[d]
+	}
+	return c
+}
+
+// Coord implements Topology's 2-D accessor for the first two dimensions
+// (0 for missing dimensions), so heatmaps of the first plane still work.
+func (t *NTorus) Coord(node int) (int, int) {
+	c := t.Coords(node)
+	x := c[0]
+	y := 0
+	if len(c) > 1 {
+		y = c[1]
+	}
+	return x, y
+}
+
+// NodeAt implements Topology for the first two dimensions (other
+// coordinates zero); use NodeAtCoords for full addressing.
+func (t *NTorus) NodeAt(x, y int) int {
+	c := make([]int, len(t.Dims))
+	c[0] = x
+	if len(c) > 1 {
+		c[1] = y
+	}
+	return t.NodeAtCoords(c)
+}
+
+// NodeAtCoords returns the node at the coordinate vector, wrapping each
+// dimension.
+func (t *NTorus) NodeAtCoords(c []int) int {
+	node := 0
+	for d := range t.Dims {
+		v := 0
+		if d < len(c) {
+			v = mod(c[d], t.Dims[d])
+		}
+		node += v * t.strides[d]
+	}
+	return node
+}
+
+// DimOf implements Topology.
+func (t *NTorus) DimOf(port int) int {
+	if port < 0 || port >= 2*len(t.Dims) {
+		return -1
+	}
+	return port / 2
+}
+
+// OppositePort implements Topology: +d pairs with −d.
+func (t *NTorus) OppositePort(port int) int {
+	if port < 0 || port >= 2*len(t.Dims) {
+		return port
+	}
+	return port ^ 1
+}
+
+// Wraparound implements Topology.
+func (t *NTorus) Wraparound() bool { return true }
+
+// Neighbor implements Topology.
+func (t *NTorus) Neighbor(node, port int) (int, bool) {
+	if node < 0 || node >= t.nodes {
+		return 0, false
+	}
+	d := t.DimOf(port)
+	if d < 0 {
+		return 0, false
+	}
+	c := t.Coords(node)
+	if port%2 == 0 {
+		c[d]++
+	} else {
+		c[d]--
+	}
+	return t.NodeAtCoords(c), true
+}
+
+// Route implements Topology: dimension-ordered shortest-way routing,
+// dimensions exhausted in index order, ties toward the plus direction (or
+// split by source parity with BalancedTies).
+func (t *NTorus) Route(src, dst int) ([]int, error) {
+	if err := checkNodes(t, src, dst); err != nil {
+		return nil, err
+	}
+	sc := t.Coords(src)
+	dc := t.Coords(dst)
+
+	positiveTie := true
+	if t.BalancedTies {
+		sum := 0
+		for _, v := range sc {
+			sum += v
+		}
+		positiveTie = sum%2 == 0
+	}
+
+	var route []int
+	for d := range t.Dims {
+		steps, port := ringStepsTie(sc[d], dc[d], t.Dims[d], t.PlusPort(d), t.MinusPort(d), positiveTie)
+		for i := 0; i < steps; i++ {
+			route = append(route, port)
+		}
+	}
+	route = append(route, t.LocalPort())
+	return route, nil
+}
+
+// VCClasses implements Topology with the classic per-dimension dateline
+// discipline: class 0 before a dimension's wraparound hop, class 1 at and
+// after it.
+func (t *NTorus) VCClasses(src int, route []int) []int {
+	classes := make([]int, len(route))
+	c := t.Coords(src)
+	class := make([]int, len(t.Dims))
+	for i, p := range route {
+		d := t.DimOf(p)
+		if d < 0 {
+			classes[i] = 0
+			continue
+		}
+		k := t.Dims[d]
+		if p%2 == 0 { // plus direction: wrap at coordinate k-1
+			if c[d] == k-1 {
+				class[d] = 1
+			}
+			classes[i] = class[d]
+			c[d] = mod(c[d]+1, k)
+		} else { // minus direction: wrap at coordinate 0
+			if c[d] == 0 {
+				class[d] = 1
+			}
+			classes[i] = class[d]
+			c[d] = mod(c[d]-1, k)
+		}
+	}
+	return classes
+}
+
+// Distance returns the minimal hop count between two nodes.
+func (t *NTorus) Distance(a, b int) int {
+	ac, bc := t.Coords(a), t.Coords(b)
+	total := 0
+	for d, k := range t.Dims {
+		fwd := mod(bc[d]-ac[d], k)
+		bwd := mod(ac[d]-bc[d], k)
+		if fwd < bwd {
+			total += fwd
+		} else {
+			total += bwd
+		}
+	}
+	return total
+}

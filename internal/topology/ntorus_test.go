@@ -1,0 +1,209 @@
+package topology
+
+import "testing"
+
+func mustNTorus(t *testing.T, dims ...int) *NTorus {
+	t.Helper()
+	tp, err := NewNTorus(dims...)
+	if err != nil {
+		t.Fatalf("NewNTorus(%v): %v", dims, err)
+	}
+	return tp
+}
+
+func TestNTorusConstruction(t *testing.T) {
+	if _, err := NewNTorus(); err == nil {
+		t.Error("dimensionless n-torus should fail")
+	}
+	if _, err := NewNTorus(4, 0, 4); err == nil {
+		t.Error("zero radix should fail")
+	}
+	tp := mustNTorus(t, 4, 3, 2)
+	if tp.Nodes() != 24 {
+		t.Errorf("nodes = %d, want 24", tp.Nodes())
+	}
+	if tp.Ports() != 7 {
+		t.Errorf("ports = %d, want 7 (2×3+1)", tp.Ports())
+	}
+	if tp.LocalPort() != 6 {
+		t.Errorf("local port = %d, want 6", tp.LocalPort())
+	}
+	if tp.Name() != "4x3x2 torus" {
+		t.Errorf("name = %q", tp.Name())
+	}
+	if !tp.Wraparound() {
+		t.Error("n-torus has wraparound")
+	}
+}
+
+func TestNTorusCoordsRoundTrip(t *testing.T) {
+	tp := mustNTorus(t, 4, 3, 2)
+	for n := 0; n < tp.Nodes(); n++ {
+		if got := tp.NodeAtCoords(tp.Coords(n)); got != n {
+			t.Errorf("NodeAtCoords(Coords(%d)) = %d", n, got)
+		}
+	}
+	// Wrapping.
+	if tp.NodeAtCoords([]int{-1, 0, 0}) != tp.NodeAtCoords([]int{3, 0, 0}) {
+		t.Error("coordinate wrap broken")
+	}
+	// Short coordinate vectors zero-fill.
+	if tp.NodeAtCoords([]int{2}) != tp.NodeAtCoords([]int{2, 0, 0}) {
+		t.Error("short coords should zero-fill")
+	}
+	// 2-D accessors cover the first plane.
+	x, y := tp.Coord(tp.NodeAtCoords([]int{3, 2, 0}))
+	if x != 3 || y != 2 {
+		t.Errorf("Coord = (%d,%d), want (3,2)", x, y)
+	}
+	if tp.NodeAt(3, 2) != tp.NodeAtCoords([]int{3, 2, 0}) {
+		t.Error("NodeAt should address the first plane")
+	}
+}
+
+func TestNTorusPortsAndNeighbors(t *testing.T) {
+	tp := mustNTorus(t, 4, 3, 2)
+	for p := 0; p < 6; p++ {
+		if got := tp.DimOf(p); got != p/2 {
+			t.Errorf("DimOf(%d) = %d, want %d", p, got, p/2)
+		}
+		if tp.OppositePort(tp.OppositePort(p)) != p {
+			t.Errorf("OppositePort not involutive at %d", p)
+		}
+	}
+	if tp.DimOf(6) != -1 {
+		t.Error("local port has no dimension")
+	}
+	if tp.OppositePort(6) != 6 {
+		t.Error("local port is its own opposite")
+	}
+	// Neighbour symmetry on every port.
+	for n := 0; n < tp.Nodes(); n++ {
+		for p := 0; p < 6; p++ {
+			m, ok := tp.Neighbor(n, p)
+			if !ok {
+				t.Fatalf("missing neighbour at %d port %d", n, p)
+			}
+			back, ok := tp.Neighbor(m, tp.OppositePort(p))
+			if !ok || back != n {
+				t.Fatalf("asymmetric link %d -%d-> %d", n, p, m)
+			}
+		}
+		if _, ok := tp.Neighbor(n, 6); ok {
+			t.Error("local port has no neighbour")
+		}
+	}
+	if _, ok := tp.Neighbor(-1, 0); ok {
+		t.Error("out-of-range node has no neighbour")
+	}
+}
+
+// TestNTorusRoutes: every route is minimal, dimension-ordered and reaches
+// its destination.
+func TestNTorusRoutes(t *testing.T) {
+	tp := mustNTorus(t, 4, 3, 2)
+	for src := 0; src < tp.Nodes(); src++ {
+		for dst := 0; dst < tp.Nodes(); dst++ {
+			route, err := tp.Route(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if route[len(route)-1] != tp.LocalPort() {
+				t.Fatalf("route %d->%d does not end with ejection: %v", src, dst, route)
+			}
+			if got, want := len(route)-1, tp.Distance(src, dst); got != want {
+				t.Fatalf("route %d->%d has %d hops, want %d", src, dst, got, want)
+			}
+			// Dimension order: dims never decrease along the route.
+			lastDim := -1
+			cur := src
+			for _, p := range route[:len(route)-1] {
+				d := tp.DimOf(p)
+				if d < lastDim {
+					t.Fatalf("route %d->%d not dimension ordered: %v", src, dst, route)
+				}
+				lastDim = d
+				next, ok := tp.Neighbor(cur, p)
+				if !ok {
+					t.Fatalf("broken route at %d", cur)
+				}
+				cur = next
+			}
+			if cur != dst {
+				t.Fatalf("route %d->%d ends at %d", src, dst, cur)
+			}
+		}
+	}
+}
+
+// TestNTorusVCClasses: class 1 from each dimension's wraparound hop.
+func TestNTorusVCClasses(t *testing.T) {
+	tp := mustNTorus(t, 4, 4, 4)
+	// From (3,0,0) to (0,0,0): one +x hop crossing the wrap: class 1.
+	src := tp.NodeAtCoords([]int{3, 0, 0})
+	route, err := tp.Route(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := tp.VCClasses(src, route)
+	if classes[0] != 1 {
+		t.Errorf("wrap hop class = %d, want 1 (route %v)", classes[0], route)
+	}
+	// From (0,0,0) to (2,2,2): no wraps anywhere: all class 0.
+	dst := tp.NodeAtCoords([]int{2, 2, 2})
+	route, err = tp.Route(0, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range tp.VCClasses(0, route) {
+		if c != 0 {
+			t.Errorf("hop %d class = %d, want 0", i, c)
+		}
+	}
+}
+
+func TestNTorusMatches2DTorus(t *testing.T) {
+	// A 2-dimensional NTorus must agree with Torus on distances.
+	nt := mustNTorus(t, 4, 4)
+	tt := mustTorus(t, 4, 4)
+	for a := 0; a < 16; a++ {
+		for b := 0; b < 16; b++ {
+			if nt.Distance(a, b) != ManhattanTorus(tt, a, b) {
+				t.Fatalf("distance mismatch at %d,%d", a, b)
+			}
+		}
+	}
+}
+
+func TestNTorusBalancedTies(t *testing.T) {
+	tp := mustNTorus(t, 4, 4)
+	tp.BalancedTies = true
+	plus, minus := 0, 0
+	for src := 0; src < 16; src++ {
+		for dst := 0; dst < 16; dst++ {
+			route, err := tp.Route(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := len(route)-1, tp.Distance(src, dst); got != want {
+				t.Fatalf("balanced route %d->%d not minimal", src, dst)
+			}
+			sc, dc := tp.Coords(src), tp.Coords(dst)
+			if (dc[0]-sc[0]+4)%4 == 2 {
+				for _, p := range route {
+					if p == tp.PlusPort(0) {
+						plus++
+						break
+					}
+					if p == tp.MinusPort(0) {
+						minus++
+						break
+					}
+				}
+			}
+		}
+	}
+	if plus != minus || plus == 0 {
+		t.Errorf("tie split %d/%d, want even and nonzero", plus, minus)
+	}
+}

@@ -1,0 +1,479 @@
+// Package topology defines network topologies and source routing.
+//
+// The paper's experiments use a 4×4 2-D torus (Figure 4) with five router
+// ports (north, south, east, west, injection/ejection) and source
+// dimension-ordered routing: "the route is encoded in a packet beforehand
+// at source" (Section 4.1), and "In our dimension-ordered routing, we route
+// along the y-axis first" (Section 4.3).
+package topology
+
+import "fmt"
+
+// Router port indices for 2-D topologies. The names follow the paper's
+// compass convention; +Y is north, +X is east.
+const (
+	PortNorth = iota // +Y
+	PortSouth        // -Y
+	PortEast         // +X
+	PortWest         // -X
+	PortLocal        // injection/ejection
+	// NumPorts is the number of ports per router (Section 3.3: "5
+	// input/output ports").
+	NumPorts
+)
+
+// PortName returns a human-readable port name.
+func PortName(p int) string {
+	switch p {
+	case PortNorth:
+		return "north"
+	case PortSouth:
+		return "south"
+	case PortEast:
+		return "east"
+	case PortWest:
+		return "west"
+	case PortLocal:
+		return "local"
+	default:
+		return fmt.Sprintf("port%d", p)
+	}
+}
+
+// Opposite returns the port on the far side of a link: a flit leaving
+// through north arrives at the neighbour's south input.
+func Opposite(p int) int {
+	switch p {
+	case PortNorth:
+		return PortSouth
+	case PortSouth:
+		return PortNorth
+	case PortEast:
+		return PortWest
+	case PortWest:
+		return PortEast
+	default:
+		return p
+	}
+}
+
+// Topology describes a network's node arrangement and routing.
+type Topology interface {
+	// Nodes returns the number of nodes.
+	Nodes() int
+	// Ports returns the number of ports per router, including the local
+	// port.
+	Ports() int
+	// Coord returns the (x, y) coordinates of a node.
+	Coord(node int) (x, y int)
+	// NodeAt returns the node at the given coordinates.
+	NodeAt(x, y int) int
+	// Neighbor returns the node reached by leaving through the given
+	// output port, and whether such a link exists. The local port has
+	// no neighbour.
+	Neighbor(node, port int) (int, bool)
+	// Route returns the source route from src to dst: the output port
+	// to take at each router visited, ending with the ejection (local)
+	// port at the destination.
+	Route(src, dst int) ([]int, error)
+	// VCClasses returns the dateline class of each hop of a route
+	// starting at src, or nil when the topology needs no VC classes for
+	// deadlock freedom (meshes). On a torus, hops at or after the
+	// wraparound link of a dimension are class 1, earlier hops class 0,
+	// so dimension-ordered routing stays deadlock-free when
+	// virtual-channel routers partition their VCs by class.
+	VCClasses(src int, route []int) []int
+	// DimOf returns the dimension index a port moves along, or -1 for
+	// the local port. Routers use it for bubble flow control's
+	// continuing-vs-entering distinction.
+	DimOf(port int) int
+	// OppositePort returns the input port at the far end of a link left
+	// through the given output port.
+	OppositePort(port int) int
+	// Wraparound reports whether the topology has wraparound links, in
+	// which case dimension-ordered routing needs deadlock avoidance.
+	Wraparound() bool
+	// Name returns a short description, e.g. "4x4 torus".
+	Name() string
+}
+
+// SameDimension reports whether two ports move along the same dimension
+// (both y or both x). Local and unknown ports share no dimension. Routers
+// use it for bubble flow control: a packet continuing straight through a
+// ring is subject to a weaker buffer condition than one entering the ring.
+func SameDimension(a, b int) bool {
+	dim := func(p int) int {
+		switch p {
+		case PortNorth, PortSouth:
+			return 1
+		case PortEast, PortWest:
+			return 0
+		default:
+			return -1
+		}
+	}
+	da, db := dim(a), dim(b)
+	return da >= 0 && da == db
+}
+
+// DimOrder selects which dimension dimension-ordered routing exhausts
+// first.
+type DimOrder int
+
+const (
+	// YFirst routes along the y-axis first (the paper's choice,
+	// Section 4.3).
+	YFirst DimOrder = iota
+	// XFirst routes along the x-axis first.
+	XFirst
+)
+
+// String implements fmt.Stringer.
+func (d DimOrder) String() string {
+	if d == XFirst {
+		return "x-first"
+	}
+	return "y-first"
+}
+
+// Torus is a k-ary 2-cube: a Width×Height grid with wraparound links in
+// both dimensions (Figure 4).
+type Torus struct {
+	Width, Height int
+	Order         DimOrder
+	// BalancedTies alternates the direction of exact half-ring ties by
+	// source/destination parity instead of always routing them the
+	// positive way. Always-positive ties load the +x/+y rings with three
+	// times the −x/−y traffic on even-radix rings; balancing splits the
+	// tie load evenly and raises saturation throughput. Off by default
+	// (the deterministic positive tie-break keeps routes maximally
+	// reproducible and is the configuration the experiments report).
+	BalancedTies bool
+}
+
+// NewTorus returns a Width×Height torus with the paper's y-first
+// dimension order.
+func NewTorus(width, height int) (*Torus, error) {
+	if width <= 0 || height <= 0 {
+		return nil, fmt.Errorf("topology: torus dimensions must be positive, got %d×%d", width, height)
+	}
+	return &Torus{Width: width, Height: height, Order: YFirst}, nil
+}
+
+// Name implements Topology.
+func (t *Torus) Name() string { return fmt.Sprintf("%dx%d torus", t.Width, t.Height) }
+
+// DimOf implements Topology: north/south move along dimension 1 (y),
+// east/west along dimension 0 (x).
+func (t *Torus) DimOf(port int) int { return dimOf2D(port) }
+
+// OppositePort implements Topology.
+func (t *Torus) OppositePort(port int) int { return Opposite(port) }
+
+// Wraparound implements Topology.
+func (t *Torus) Wraparound() bool { return true }
+
+func dimOf2D(port int) int {
+	switch port {
+	case PortNorth, PortSouth:
+		return 1
+	case PortEast, PortWest:
+		return 0
+	default:
+		return -1
+	}
+}
+
+// Nodes implements Topology.
+func (t *Torus) Nodes() int { return t.Width * t.Height }
+
+// Ports implements Topology.
+func (t *Torus) Ports() int { return NumPorts }
+
+// Coord implements Topology.
+func (t *Torus) Coord(node int) (int, int) { return node % t.Width, node / t.Width }
+
+// NodeAt implements Topology. Coordinates wrap around.
+func (t *Torus) NodeAt(x, y int) int {
+	x = mod(x, t.Width)
+	y = mod(y, t.Height)
+	return y*t.Width + x
+}
+
+// Neighbor implements Topology.
+func (t *Torus) Neighbor(node, port int) (int, bool) {
+	if node < 0 || node >= t.Nodes() {
+		return 0, false
+	}
+	x, y := t.Coord(node)
+	switch port {
+	case PortNorth:
+		return t.NodeAt(x, y+1), true
+	case PortSouth:
+		return t.NodeAt(x, y-1), true
+	case PortEast:
+		return t.NodeAt(x+1, y), true
+	case PortWest:
+		return t.NodeAt(x-1, y), true
+	default:
+		return 0, false
+	}
+}
+
+// Route implements Topology using dimension-ordered routing with
+// shortest-way wraparound; ties (exactly half way around a ring) break
+// toward the positive direction, or alternate by node parity with
+// BalancedTies.
+func (t *Torus) Route(src, dst int) ([]int, error) {
+	if err := checkNodes(t, src, dst); err != nil {
+		return nil, err
+	}
+	sx, sy := t.Coord(src)
+	dx, dy := t.Coord(dst)
+
+	// Tie direction by source-coordinate parity: for an exact half-ring
+	// distance, src and dst coordinates share parity in that dimension,
+	// so hashing the destination would not split the load; the source's
+	// checkerboard parity does, halving each ring's tie traffic.
+	positiveTie := true
+	if t.BalancedTies {
+		positiveTie = (sx+sy)%2 == 0
+	}
+	ySteps, yPort := ringStepsTie(sy, dy, t.Height, PortNorth, PortSouth, positiveTie)
+	xSteps, xPort := ringStepsTie(sx, dx, t.Width, PortEast, PortWest, positiveTie)
+
+	route := make([]int, 0, ySteps+xSteps+1)
+	appendHops := func(n, port int) {
+		for i := 0; i < n; i++ {
+			route = append(route, port)
+		}
+	}
+	if t.Order == YFirst {
+		appendHops(ySteps, yPort)
+		appendHops(xSteps, xPort)
+	} else {
+		appendHops(xSteps, xPort)
+		appendHops(ySteps, yPort)
+	}
+	route = append(route, PortLocal)
+	return route, nil
+}
+
+// VCClasses implements Topology with the classic dateline discipline:
+// every packet starts a dimension in class 0 and switches to class 1 at
+// the wraparound (dateline) channel; hops at or after the wrap are class 1.
+// Virtual-channel routers configured for dateline deadlock avoidance
+// partition their VCs by these classes. (The default deadlock-avoidance
+// mechanism is bubble flow control, which leaves VC choice unrestricted;
+// see router.Config.)
+func (t *Torus) VCClasses(src int, route []int) []int {
+	classes := make([]int, len(route))
+	x, y := t.Coord(src)
+	xClass, yClass := 0, 0
+	for i, p := range route {
+		switch p {
+		case PortNorth:
+			if y == t.Height-1 {
+				yClass = 1
+			}
+			classes[i] = yClass
+			y = mod(y+1, t.Height)
+		case PortSouth:
+			if y == 0 {
+				yClass = 1
+			}
+			classes[i] = yClass
+			y = mod(y-1, t.Height)
+		case PortEast:
+			if x == t.Width-1 {
+				xClass = 1
+			}
+			classes[i] = xClass
+			x = mod(x+1, t.Width)
+		case PortWest:
+			if x == 0 {
+				xClass = 1
+			}
+			classes[i] = xClass
+			x = mod(x-1, t.Width)
+		default:
+			classes[i] = 0
+		}
+	}
+	return classes
+}
+
+// ringSteps returns how many hops to take around a ring of size k from a
+// to b, and through which port (plus or minus direction). Ties break
+// toward plus.
+func ringSteps(a, b, k, plusPort, minusPort int) (int, int) {
+	return ringStepsTie(a, b, k, plusPort, minusPort, true)
+}
+
+// ringStepsTie is ringSteps with an explicit tie direction.
+func ringStepsTie(a, b, k, plusPort, minusPort int, positiveTie bool) (int, int) {
+	fwd := mod(b-a, k)
+	bwd := mod(a-b, k)
+	switch {
+	case fwd < bwd:
+		return fwd, plusPort
+	case bwd < fwd:
+		return bwd, minusPort
+	case positiveTie:
+		return fwd, plusPort
+	default:
+		return bwd, minusPort
+	}
+}
+
+// Mesh is a Width×Height grid without wraparound links.
+type Mesh struct {
+	Width, Height int
+	Order         DimOrder
+}
+
+// NewMesh returns a Width×Height mesh with y-first dimension order.
+func NewMesh(width, height int) (*Mesh, error) {
+	if width <= 0 || height <= 0 {
+		return nil, fmt.Errorf("topology: mesh dimensions must be positive, got %d×%d", width, height)
+	}
+	return &Mesh{Width: width, Height: height, Order: YFirst}, nil
+}
+
+// Name implements Topology.
+func (m *Mesh) Name() string { return fmt.Sprintf("%dx%d mesh", m.Width, m.Height) }
+
+// DimOf implements Topology.
+func (m *Mesh) DimOf(port int) int { return dimOf2D(port) }
+
+// OppositePort implements Topology.
+func (m *Mesh) OppositePort(port int) int { return Opposite(port) }
+
+// Wraparound implements Topology.
+func (m *Mesh) Wraparound() bool { return false }
+
+// Nodes implements Topology.
+func (m *Mesh) Nodes() int { return m.Width * m.Height }
+
+// Ports implements Topology.
+func (m *Mesh) Ports() int { return NumPorts }
+
+// Coord implements Topology.
+func (m *Mesh) Coord(node int) (int, int) { return node % m.Width, node / m.Width }
+
+// NodeAt implements Topology. Out-of-range coordinates are clamped.
+func (m *Mesh) NodeAt(x, y int) int {
+	x = clamp(x, 0, m.Width-1)
+	y = clamp(y, 0, m.Height-1)
+	return y*m.Width + x
+}
+
+// Neighbor implements Topology; edge nodes have no link in the outward
+// direction.
+func (m *Mesh) Neighbor(node, port int) (int, bool) {
+	if node < 0 || node >= m.Nodes() {
+		return 0, false
+	}
+	x, y := m.Coord(node)
+	switch port {
+	case PortNorth:
+		if y+1 >= m.Height {
+			return 0, false
+		}
+		return m.NodeAt(x, y+1), true
+	case PortSouth:
+		if y-1 < 0 {
+			return 0, false
+		}
+		return m.NodeAt(x, y-1), true
+	case PortEast:
+		if x+1 >= m.Width {
+			return 0, false
+		}
+		return m.NodeAt(x+1, y), true
+	case PortWest:
+		if x-1 < 0 {
+			return 0, false
+		}
+		return m.NodeAt(x-1, y), true
+	default:
+		return 0, false
+	}
+}
+
+// VCClasses implements Topology. Dimension-ordered routing on a mesh is
+// deadlock-free without VC classes, so the result is nil.
+func (m *Mesh) VCClasses(src int, route []int) []int { return nil }
+
+// Route implements Topology with dimension-ordered routing.
+func (m *Mesh) Route(src, dst int) ([]int, error) {
+	if err := checkNodes(m, src, dst); err != nil {
+		return nil, err
+	}
+	sx, sy := m.Coord(src)
+	dx, dy := m.Coord(dst)
+
+	route := make([]int, 0, abs(dx-sx)+abs(dy-sy)+1)
+	appendDim := func(from, to, plusPort, minusPort int) {
+		for i := from; i < to; i++ {
+			route = append(route, plusPort)
+		}
+		for i := from; i > to; i-- {
+			route = append(route, minusPort)
+		}
+	}
+	if m.Order == YFirst {
+		appendDim(sy, dy, PortNorth, PortSouth)
+		appendDim(sx, dx, PortEast, PortWest)
+	} else {
+		appendDim(sx, dx, PortEast, PortWest)
+		appendDim(sy, dy, PortNorth, PortSouth)
+	}
+	route = append(route, PortLocal)
+	return route, nil
+}
+
+func checkNodes(t Topology, src, dst int) error {
+	if src < 0 || src >= t.Nodes() {
+		return fmt.Errorf("topology: source node %d out of range [0,%d)", src, t.Nodes())
+	}
+	if dst < 0 || dst >= t.Nodes() {
+		return fmt.Errorf("topology: destination node %d out of range [0,%d)", dst, t.Nodes())
+	}
+	return nil
+}
+
+func mod(a, k int) int {
+	a %= k
+	if a < 0 {
+		a += k
+	}
+	return a
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// ManhattanTorus returns the minimal hop distance between two nodes of a
+// torus, used to analyse the broadcast power-decay of Figure 6(b).
+func ManhattanTorus(t *Torus, a, b int) int {
+	ax, ay := t.Coord(a)
+	bx, by := t.Coord(b)
+	dx, _ := ringSteps(ax, bx, t.Width, PortEast, PortWest)
+	dy, _ := ringSteps(ay, by, t.Height, PortNorth, PortSouth)
+	return dx + dy
+}

@@ -1,0 +1,441 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustTorus(t *testing.T, w, h int) *Torus {
+	t.Helper()
+	tp, err := NewTorus(w, h)
+	if err != nil {
+		t.Fatalf("NewTorus(%d,%d): %v", w, h, err)
+	}
+	return tp
+}
+
+func mustMesh(t *testing.T, w, h int) *Mesh {
+	t.Helper()
+	m, err := NewMesh(w, h)
+	if err != nil {
+		t.Fatalf("NewMesh(%d,%d): %v", w, h, err)
+	}
+	return m
+}
+
+func TestConstructorsRejectBadDims(t *testing.T) {
+	if _, err := NewTorus(0, 4); err == nil {
+		t.Error("NewTorus(0,4) should fail")
+	}
+	if _, err := NewTorus(4, -1); err == nil {
+		t.Error("NewTorus(4,-1) should fail")
+	}
+	if _, err := NewMesh(0, 0); err == nil {
+		t.Error("NewMesh(0,0) should fail")
+	}
+}
+
+func TestPortNamesAndOpposite(t *testing.T) {
+	names := map[int]string{
+		PortNorth: "north", PortSouth: "south", PortEast: "east",
+		PortWest: "west", PortLocal: "local", 9: "port9",
+	}
+	for p, want := range names {
+		if got := PortName(p); got != want {
+			t.Errorf("PortName(%d) = %q, want %q", p, got, want)
+		}
+	}
+	for _, p := range []int{PortNorth, PortSouth, PortEast, PortWest} {
+		if Opposite(Opposite(p)) != p {
+			t.Errorf("Opposite not involutive for %s", PortName(p))
+		}
+		if Opposite(p) == p {
+			t.Errorf("Opposite(%s) should differ", PortName(p))
+		}
+	}
+	if Opposite(PortLocal) != PortLocal {
+		t.Error("Opposite(local) should be local")
+	}
+}
+
+func TestTorusCoordRoundTrip(t *testing.T) {
+	tp := mustTorus(t, 4, 4)
+	if tp.Nodes() != 16 || tp.Ports() != 5 {
+		t.Fatalf("nodes/ports = %d/%d, want 16/5", tp.Nodes(), tp.Ports())
+	}
+	for n := 0; n < tp.Nodes(); n++ {
+		x, y := tp.Coord(n)
+		if tp.NodeAt(x, y) != n {
+			t.Errorf("NodeAt(Coord(%d)) = %d", n, tp.NodeAt(x, y))
+		}
+	}
+	// Wraparound.
+	if tp.NodeAt(-1, 0) != tp.NodeAt(3, 0) {
+		t.Error("x wraparound broken")
+	}
+	if tp.NodeAt(0, 4) != tp.NodeAt(0, 0) {
+		t.Error("y wraparound broken")
+	}
+}
+
+func TestTorusNeighborsSymmetric(t *testing.T) {
+	tp := mustTorus(t, 4, 4)
+	for n := 0; n < tp.Nodes(); n++ {
+		for _, p := range []int{PortNorth, PortSouth, PortEast, PortWest} {
+			m, ok := tp.Neighbor(n, p)
+			if !ok {
+				t.Fatalf("torus node %d must have a %s neighbour", n, PortName(p))
+			}
+			back, ok := tp.Neighbor(m, Opposite(p))
+			if !ok || back != n {
+				t.Errorf("neighbour symmetry broken: %d -%s-> %d -%s-> %d",
+					n, PortName(p), m, PortName(Opposite(p)), back)
+			}
+		}
+		if _, ok := tp.Neighbor(n, PortLocal); ok {
+			t.Error("local port should have no neighbour")
+		}
+	}
+	if _, ok := tp.Neighbor(-1, PortNorth); ok {
+		t.Error("out-of-range node should have no neighbour")
+	}
+}
+
+// TestTorusRouteYFirst checks the paper's routing example from Section 4.3:
+// with y routed first, traffic from (1,2) reaches (1,1)/(1,3) along the y
+// ring before any x movement.
+func TestTorusRouteYFirst(t *testing.T) {
+	tp := mustTorus(t, 4, 4)
+	src := tp.NodeAt(1, 2)
+	dst := tp.NodeAt(2, 0) // two y-hops (2->3->0 north, wrap) or south twice; plus one x-hop east
+	route, err := tp.Route(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// y distance from 2 to 0: forward (north) = (0-2) mod 4 = 2,
+	// backward (south) = 2 — tie breaks north. Then 1 east hop, then eject.
+	want := []int{PortNorth, PortNorth, PortEast, PortLocal}
+	if len(route) != len(want) {
+		t.Fatalf("route = %v, want %v", route, want)
+	}
+	for i := range want {
+		if route[i] != want[i] {
+			t.Fatalf("route = %v, want %v", route, want)
+		}
+	}
+}
+
+func TestTorusRouteSelf(t *testing.T) {
+	tp := mustTorus(t, 4, 4)
+	route, err := tp.Route(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(route) != 1 || route[0] != PortLocal {
+		t.Errorf("self route = %v, want [local]", route)
+	}
+}
+
+func TestTorusRouteShortestWay(t *testing.T) {
+	tp := mustTorus(t, 4, 4)
+	// (0,0) to (3,0): west once is shorter than east three times.
+	route, err := tp.Route(tp.NodeAt(0, 0), tp.NodeAt(3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(route) != 2 || route[0] != PortWest {
+		t.Errorf("route = %v, want [west local]", route)
+	}
+}
+
+// TestRouteWalksToDestination verifies, for every src/dst pair, that
+// following the route through Neighbor lands on dst and ends with the
+// local port.
+func TestRouteWalksToDestination(t *testing.T) {
+	tops := []Topology{mustTorus(t, 4, 4), mustTorus(t, 5, 3), mustMesh(t, 4, 4), mustMesh(t, 3, 5)}
+	for _, tp := range tops {
+		for src := 0; src < tp.Nodes(); src++ {
+			for dst := 0; dst < tp.Nodes(); dst++ {
+				route, err := tp.Route(src, dst)
+				if err != nil {
+					t.Fatalf("%s: Route(%d,%d): %v", tp.Name(), src, dst, err)
+				}
+				if route[len(route)-1] != PortLocal {
+					t.Fatalf("%s: route %v does not end with ejection", tp.Name(), route)
+				}
+				cur := src
+				for _, p := range route[:len(route)-1] {
+					next, ok := tp.Neighbor(cur, p)
+					if !ok {
+						t.Fatalf("%s: route %d->%d steps through missing link at node %d port %s",
+							tp.Name(), src, dst, cur, PortName(p))
+					}
+					cur = next
+				}
+				if cur != dst {
+					t.Fatalf("%s: route %d->%d ends at %d", tp.Name(), src, dst, cur)
+				}
+			}
+		}
+	}
+}
+
+// TestTorusRouteMinimal: route length must equal the Manhattan torus
+// distance plus the ejection hop.
+func TestTorusRouteMinimal(t *testing.T) {
+	tp := mustTorus(t, 4, 4)
+	for src := 0; src < 16; src++ {
+		for dst := 0; dst < 16; dst++ {
+			route, err := tp.Route(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := len(route)-1, ManhattanTorus(tp, src, dst); got != want {
+				t.Errorf("route %d->%d has %d hops, want %d", src, dst, got, want)
+			}
+		}
+	}
+}
+
+// TestTorusDimensionOrder: y-first routes never take an x hop before a
+// y hop (the Section 4.3 asymmetry that shapes Figure 6(b)).
+func TestTorusDimensionOrder(t *testing.T) {
+	tp := mustTorus(t, 4, 4)
+	isY := func(p int) bool { return p == PortNorth || p == PortSouth }
+	for src := 0; src < 16; src++ {
+		for dst := 0; dst < 16; dst++ {
+			route, _ := tp.Route(src, dst)
+			seenX := false
+			for _, p := range route[:len(route)-1] {
+				if isY(p) && seenX {
+					t.Fatalf("route %d->%d = %v mixes dimensions", src, dst, route)
+				}
+				if !isY(p) {
+					seenX = true
+				}
+			}
+		}
+	}
+	tp.Order = XFirst
+	route, _ := tp.Route(tp.NodeAt(0, 0), tp.NodeAt(1, 1))
+	if route[0] != PortEast {
+		t.Errorf("x-first route should start east, got %v", route)
+	}
+	if XFirst.String() != "x-first" || YFirst.String() != "y-first" {
+		t.Error("DimOrder names wrong")
+	}
+}
+
+func TestRouteErrors(t *testing.T) {
+	tp := mustTorus(t, 4, 4)
+	if _, err := tp.Route(-1, 0); err == nil {
+		t.Error("negative src should error")
+	}
+	if _, err := tp.Route(0, 16); err == nil {
+		t.Error("dst out of range should error")
+	}
+	m := mustMesh(t, 4, 4)
+	if _, err := m.Route(99, 0); err == nil {
+		t.Error("mesh out-of-range should error")
+	}
+}
+
+func TestMeshEdges(t *testing.T) {
+	m := mustMesh(t, 4, 4)
+	if _, ok := m.Neighbor(m.NodeAt(0, 0), PortWest); ok {
+		t.Error("mesh corner should have no west link")
+	}
+	if _, ok := m.Neighbor(m.NodeAt(0, 0), PortSouth); ok {
+		t.Error("mesh corner should have no south link")
+	}
+	if _, ok := m.Neighbor(m.NodeAt(3, 3), PortEast); ok {
+		t.Error("mesh corner should have no east link")
+	}
+	if _, ok := m.Neighbor(-2, PortEast); ok {
+		t.Error("out-of-range node should have no neighbour")
+	}
+	if n, ok := m.Neighbor(m.NodeAt(1, 1), PortNorth); !ok || n != m.NodeAt(1, 2) {
+		t.Error("interior mesh neighbour wrong")
+	}
+	if m.NodeAt(-3, 99) != m.NodeAt(0, 3) {
+		t.Error("mesh NodeAt should clamp")
+	}
+}
+
+func TestManhattanTorusProperties(t *testing.T) {
+	tp := mustTorus(t, 4, 4)
+	err := quick.Check(func(a, b uint8) bool {
+		x, y := int(a%16), int(b%16)
+		d := ManhattanTorus(tp, x, y)
+		return d == ManhattanTorus(tp, y, x) && d >= 0 && d <= 4 &&
+			(d == 0) == (x == y)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTorusRouteDeterministic(t *testing.T) {
+	tp := mustTorus(t, 4, 4)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		s, d := rng.Intn(16), rng.Intn(16)
+		r1, _ := tp.Route(s, d)
+		r2, _ := tp.Route(s, d)
+		if len(r1) != len(r2) {
+			t.Fatal("routing must be deterministic")
+		}
+		for j := range r1 {
+			if r1[j] != r2[j] {
+				t.Fatal("routing must be deterministic")
+			}
+		}
+	}
+}
+
+// TestBalancedTies: with balanced tie-breaking, exact half-ring ties split
+// between directions by parity, while all routes stay minimal and reach
+// their destinations.
+func TestBalancedTies(t *testing.T) {
+	tp := mustTorus(t, 4, 4)
+	tp.BalancedTies = true
+	plus, minus := 0, 0
+	for src := 0; src < 16; src++ {
+		for dst := 0; dst < 16; dst++ {
+			route, err := tp.Route(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := len(route)-1, ManhattanTorus(tp, src, dst); got != want {
+				t.Fatalf("route %d->%d has %d hops, want minimal %d", src, dst, got, want)
+			}
+			cur := src
+			for _, p := range route[:len(route)-1] {
+				next, ok := tp.Neighbor(cur, p)
+				if !ok {
+					t.Fatalf("route %d->%d broken at %d", src, dst, cur)
+				}
+				cur = next
+			}
+			if cur != dst {
+				t.Fatalf("route %d->%d ends at %d", src, dst, cur)
+			}
+			// Count tie directions on the x dimension (distance 2).
+			sx, _ := tp.Coord(src)
+			dx, _ := tp.Coord(dst)
+			if (dx-sx+4)%4 == 2 {
+				for _, p := range route {
+					if p == PortEast {
+						plus++
+						break
+					}
+					if p == PortWest {
+						minus++
+						break
+					}
+				}
+			}
+		}
+	}
+	if plus == 0 || minus == 0 {
+		t.Errorf("ties all broke one way: +%d -%d", plus, minus)
+	}
+	// Parity split is exactly even on a 4×4 torus.
+	if plus != minus {
+		t.Errorf("tie split %d/%d, want even", plus, minus)
+	}
+}
+
+func TestTopologyNames(t *testing.T) {
+	if mustTorus(t, 4, 4).Name() != "4x4 torus" {
+		t.Error("torus name wrong")
+	}
+	if mustMesh(t, 3, 5).Name() != "3x5 mesh" {
+		t.Error("mesh name wrong")
+	}
+	if mustMesh(t, 3, 5).Ports() != 5 {
+		t.Error("mesh ports wrong")
+	}
+}
+
+func TestSameDimension(t *testing.T) {
+	cases := []struct {
+		a, b int
+		want bool
+	}{
+		{PortNorth, PortSouth, true},
+		{PortNorth, PortNorth, true},
+		{PortEast, PortWest, true},
+		{PortNorth, PortEast, false},
+		{PortLocal, PortNorth, false},
+		{PortLocal, PortLocal, false},
+		{9, PortNorth, false},
+	}
+	for _, c := range cases {
+		if got := SameDimension(c.a, c.b); got != c.want {
+			t.Errorf("SameDimension(%s,%s) = %v, want %v", PortName(c.a), PortName(c.b), got, c.want)
+		}
+	}
+}
+
+// TestTorusVCClasses: the classic dateline discipline — class 0 before a
+// dimension's wraparound hop, class 1 at and after it.
+func TestTorusVCClasses(t *testing.T) {
+	tp := mustTorus(t, 4, 4)
+
+	// (0,3) -> (0,1): north twice would be 2 wraps... south twice is the
+	// route (distance tie at 2 → north: 3->0 wraps immediately).
+	src, dst := tp.NodeAt(0, 3), tp.NodeAt(0, 1)
+	route, err := tp.Route(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := tp.VCClasses(src, route)
+	if len(classes) != len(route) {
+		t.Fatalf("classes length %d != route length %d", len(classes), len(route))
+	}
+	// First hop north from y=3 crosses the wrap: class 1 from hop 0.
+	if route[0] != PortNorth || classes[0] != 1 {
+		t.Errorf("wrap-first route %v classes %v: hop 0 should be class 1", route, classes)
+	}
+
+	// (0,0) -> (0,2): north twice, wrap only on the second hop (y=3->0
+	// not reached)... from y=0: 0->1->2, no wrap: all class 0.
+	route, err = tp.Route(tp.NodeAt(0, 0), tp.NodeAt(0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes = tp.VCClasses(tp.NodeAt(0, 0), route)
+	for i, p := range route[:len(route)-1] {
+		if classes[i] != 0 {
+			t.Errorf("non-wrapping hop %d (%s) class = %d, want 0", i, PortName(p), classes[i])
+		}
+	}
+
+	// (0,2) -> (0,0): north twice (tie), crossing 3->0 on the SECOND hop:
+	// classes [0,1].
+	route, err = tp.Route(tp.NodeAt(0, 2), tp.NodeAt(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes = tp.VCClasses(tp.NodeAt(0, 2), route)
+	if classes[0] != 0 || classes[1] != 1 {
+		t.Errorf("route %v classes %v, want [0 1 ...]", route, classes)
+	}
+	// Ejection hop class is 0 (unused).
+	if classes[len(classes)-1] != 0 {
+		t.Errorf("ejection class = %d", classes[len(classes)-1])
+	}
+}
+
+func TestMeshVCClassesNil(t *testing.T) {
+	m := mustMesh(t, 4, 4)
+	route, err := m.Route(0, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.VCClasses(0, route) != nil {
+		t.Error("mesh needs no VC classes")
+	}
+}

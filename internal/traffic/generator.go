@@ -1,0 +1,173 @@
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"orion/internal/flit"
+	"orion/internal/topology"
+)
+
+// Config describes a workload.
+type Config struct {
+	// Pattern picks destinations.
+	Pattern Pattern
+	// Rates[n] is node n's injection probability per cycle (a Bernoulli
+	// process generating at most one packet per node per cycle,
+	// Section 4.1: "generates uniformly distributed traffic ... at the
+	// prescribed packet injection rate").
+	Rates []float64
+	// PacketLength is the number of flits per packet (the paper uses 5:
+	// one head plus four data flits).
+	PacketLength int
+	// FlitBits is the flit width in bits; payloads are random bits so
+	// power models see realistic switching.
+	FlitBits int
+	// Seed makes the workload reproducible.
+	Seed int64
+}
+
+// Validate reports an error for an unusable workload description.
+func (c Config) Validate(nodes int) error {
+	if c.Pattern == nil {
+		return fmt.Errorf("traffic: pattern is required")
+	}
+	if len(c.Rates) != nodes {
+		return fmt.Errorf("traffic: got %d rates for %d nodes", len(c.Rates), nodes)
+	}
+	for n, r := range c.Rates {
+		if r < 0 || r > 1 {
+			return fmt.Errorf("traffic: node %d rate %g outside [0,1]", n, r)
+		}
+	}
+	if c.PacketLength <= 0 {
+		return fmt.Errorf("traffic: packet length must be positive, got %d", c.PacketLength)
+	}
+	if c.FlitBits <= 0 {
+		return fmt.Errorf("traffic: flit width must be positive, got %d", c.FlitBits)
+	}
+	return nil
+}
+
+// UniformRates returns a rate vector with every node injecting at rate r.
+func UniformRates(nodes int, r float64) []float64 {
+	rates := make([]float64, nodes)
+	for i := range rates {
+		rates[i] = r
+	}
+	return rates
+}
+
+// SingleSourceRates returns a rate vector where only source injects, at
+// rate r — the broadcast workload of Section 4.3, where "the source node
+// at position (1,2) injects at the maximum rate of 0.2 packets per cycle".
+func SingleSourceRates(nodes, source int, r float64) []float64 {
+	rates := make([]float64, nodes)
+	if source >= 0 && source < nodes {
+		rates[source] = r
+	}
+	return rates
+}
+
+// NewPacket is one generated packet with its flits.
+type NewPacket struct {
+	Packet *flit.Packet
+	Flits  []*flit.Flit
+}
+
+// Generator produces packets cycle by cycle. It is the "message source"
+// module class of Section 2.2.
+type Generator struct {
+	cfg    Config
+	topo   topology.Topology
+	rng    *rand.Rand
+	nextID int64
+	words  int
+	// Generated counts packets created per node.
+	Generated []int64
+}
+
+// NewGenerator returns a generator for the given workload on the given
+// topology.
+func NewGenerator(cfg Config, topo topology.Topology) (*Generator, error) {
+	if topo == nil {
+		return nil, fmt.Errorf("traffic: topology is required")
+	}
+	if err := cfg.Validate(topo.Nodes()); err != nil {
+		return nil, err
+	}
+	return &Generator{
+		cfg:       cfg,
+		topo:      topo,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		words:     flit.PayloadWords(cfg.FlitBits),
+		Generated: make([]int64, topo.Nodes()),
+	}, nil
+}
+
+// Tick generates this cycle's new packets. The sample flag tags packets
+// belonging to the measurement window.
+func (g *Generator) Tick(cycle int64, sample bool) ([]NewPacket, error) {
+	var out []NewPacket
+	for n := 0; n < g.topo.Nodes(); n++ {
+		r := g.cfg.Rates[n]
+		if r <= 0 || g.rng.Float64() >= r {
+			continue
+		}
+		dst, ok := g.cfg.Pattern.Destination(n, g.rng)
+		if !ok {
+			continue
+		}
+		p, err := g.MakePacket(n, dst, cycle, sample)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// MakePacket creates one packet from src to dst with a source-computed
+// route and random payloads. It is exported for trace replay and tests.
+func (g *Generator) MakePacket(src, dst int, cycle int64, sample bool) (NewPacket, error) {
+	route, err := g.topo.Route(src, dst)
+	if err != nil {
+		return NewPacket{}, err
+	}
+	g.nextID++
+	pkt := &flit.Packet{
+		ID:        g.nextID,
+		Src:       src,
+		Dst:       dst,
+		Route:     route,
+		VCClasses: g.topo.VCClasses(src, route),
+		Length:    g.cfg.PacketLength,
+		CreatedAt: cycle,
+		Sample:    sample,
+	}
+	flits := make([]*flit.Flit, g.cfg.PacketLength)
+	for i := range flits {
+		kind := flit.Body
+		switch {
+		case g.cfg.PacketLength == 1:
+			kind = flit.HeadTail
+		case i == 0:
+			kind = flit.Head
+		case i == g.cfg.PacketLength-1:
+			kind = flit.Tail
+		}
+		payload := make([]uint64, g.words)
+		for w := range payload {
+			payload[w] = g.rng.Uint64()
+		}
+		flit.MaskPayload(payload, g.cfg.FlitBits)
+		flits[i] = &flit.Flit{
+			Packet:  pkt,
+			Seq:     i,
+			Kind:    kind,
+			Payload: payload,
+		}
+	}
+	g.Generated[src]++
+	return NewPacket{Packet: pkt, Flits: flits}, nil
+}

@@ -1,0 +1,179 @@
+// Package traffic generates communication workloads.
+//
+// The paper's case studies use uniform random traffic ("each node injects
+// packets to randomly distributed destinations other than itself") and
+// broadcast traffic ("one node injects packets to all the other nodes"),
+// both with Bernoulli packet injection at a prescribed rate (Section 4.1,
+// 4.3). Additional classical patterns (transpose, bit-complement, tornado,
+// hotspot, nearest-neighbour) and trace replay are provided as extensions;
+// the paper notes Orion "can be interfaced with actual communication
+// traces for more realistic results".
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Pattern picks a destination for each generated packet. Implementations
+// may keep per-source state (broadcast cycles through destinations) but
+// must be deterministic given the same RNG sequence.
+type Pattern interface {
+	// Name identifies the pattern.
+	Name() string
+	// Destination returns the destination node for the next packet
+	// injected by src. ok is false when src never injects under this
+	// pattern (e.g. non-source nodes of a broadcast).
+	Destination(src int, rng *rand.Rand) (dst int, ok bool)
+}
+
+// Uniform is uniform random traffic over nodes, excluding self-traffic.
+type Uniform struct {
+	Nodes int
+}
+
+// Name implements Pattern.
+func (u Uniform) Name() string { return "uniform" }
+
+// Destination implements Pattern.
+func (u Uniform) Destination(src int, rng *rand.Rand) (int, bool) {
+	if u.Nodes < 2 || src < 0 || src >= u.Nodes {
+		return 0, false
+	}
+	d := rng.Intn(u.Nodes - 1)
+	if d >= src {
+		d++
+	}
+	return d, true
+}
+
+// Broadcast has a single source node sending to every other node in turn
+// (Section 4.3). Destinations cycle deterministically so each of the other
+// nodes receives the same share of packets.
+type Broadcast struct {
+	Nodes  int
+	Source int
+	next   int
+}
+
+// Name implements Pattern.
+func (b *Broadcast) Name() string { return fmt.Sprintf("broadcast-from-%d", b.Source) }
+
+// Destination implements Pattern.
+func (b *Broadcast) Destination(src int, rng *rand.Rand) (int, bool) {
+	if src != b.Source || b.Nodes < 2 {
+		return 0, false
+	}
+	d := b.next % (b.Nodes - 1)
+	b.next++
+	if d >= b.Source {
+		d++
+	}
+	return d, true
+}
+
+// Transpose sends node (x, y) to (y, x) on a Width×Width layout. Nodes on
+// the diagonal do not inject.
+type Transpose struct {
+	Width int
+}
+
+// Name implements Pattern.
+func (t Transpose) Name() string { return "transpose" }
+
+// Destination implements Pattern.
+func (t Transpose) Destination(src int, rng *rand.Rand) (int, bool) {
+	if t.Width <= 0 || src < 0 || src >= t.Width*t.Width {
+		return 0, false
+	}
+	x, y := src%t.Width, src/t.Width
+	if x == y {
+		return 0, false
+	}
+	return x*t.Width + y, true
+}
+
+// BitComplement sends node i to (N-1)-i. The middle node of an odd-sized
+// network does not inject.
+type BitComplement struct {
+	Nodes int
+}
+
+// Name implements Pattern.
+func (b BitComplement) Name() string { return "bit-complement" }
+
+// Destination implements Pattern.
+func (b BitComplement) Destination(src int, rng *rand.Rand) (int, bool) {
+	if src < 0 || src >= b.Nodes {
+		return 0, false
+	}
+	d := b.Nodes - 1 - src
+	if d == src {
+		return 0, false
+	}
+	return d, true
+}
+
+// Tornado sends each node halfway around its row: (x, y) to
+// (x + ⌈W/2⌉ - 1 mod W, y), the classic adversarial pattern for rings.
+type Tornado struct {
+	Width, Height int
+}
+
+// Name implements Pattern.
+func (t Tornado) Name() string { return "tornado" }
+
+// Destination implements Pattern.
+func (t Tornado) Destination(src int, rng *rand.Rand) (int, bool) {
+	n := t.Width * t.Height
+	if t.Width < 2 || src < 0 || src >= n {
+		return 0, false
+	}
+	x, y := src%t.Width, src/t.Width
+	dx := (x + (t.Width+1)/2 - 1) % t.Width
+	if dx == x {
+		return 0, false
+	}
+	return y*t.Width + dx, true
+}
+
+// Hotspot sends a fraction of traffic to one hot node and the rest
+// uniformly.
+type Hotspot struct {
+	Nodes    int
+	Hot      int
+	Fraction float64 // share of packets destined for Hot, in [0,1]
+}
+
+// Name implements Pattern.
+func (h Hotspot) Name() string { return fmt.Sprintf("hotspot-%d", h.Hot) }
+
+// Destination implements Pattern.
+func (h Hotspot) Destination(src int, rng *rand.Rand) (int, bool) {
+	if h.Nodes < 2 || src < 0 || src >= h.Nodes {
+		return 0, false
+	}
+	if src != h.Hot && rng.Float64() < h.Fraction {
+		return h.Hot, true
+	}
+	return Uniform{Nodes: h.Nodes}.Destination(src, rng)
+}
+
+// Neighbor sends each node to its east neighbour on a Width×Height torus,
+// the lightest-load permutation.
+type Neighbor struct {
+	Width, Height int
+}
+
+// Name implements Pattern.
+func (n Neighbor) Name() string { return "neighbor" }
+
+// Destination implements Pattern.
+func (n Neighbor) Destination(src int, rng *rand.Rand) (int, bool) {
+	total := n.Width * n.Height
+	if n.Width < 2 || src < 0 || src >= total {
+		return 0, false
+	}
+	x, y := src%n.Width, src/n.Width
+	return y*n.Width + (x+1)%n.Width, true
+}

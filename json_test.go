@@ -1,0 +1,102 @@
+package orion
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	cfg := OnChip4x4(VC64(), 0.1)
+	cfg.Traffic.Pattern = BroadcastFrom(9)
+	cfg.Sim.Deadlock = DeadlockDateline
+	cfg.Sim.Arbiter = QueuingArbiter
+	cfg.Router.Speculative = true
+	cfg.Link.DVS = &DVSPolicy{WindowCycles: 128}
+
+	data, err := ConfigJSON(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{`"virtual-channel"`, `"broadcast"`, `"dateline"`, `"queuing"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON missing %s:\n%s", want, s)
+		}
+	}
+
+	back, err := LoadConfigJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Router.Kind != VirtualChannel || back.Router.VCs != 8 ||
+		back.Traffic.Pattern.Kind != PatternBroadcast || back.Traffic.Pattern.Source != 9 ||
+		back.Sim.Deadlock != DeadlockDateline || back.Sim.Arbiter != QueuingArbiter ||
+		!back.Router.Speculative || back.Link.DVS == nil || back.Link.DVS.WindowCycles != 128 {
+		t.Errorf("round trip lost fields: %+v", back)
+	}
+	// The round-tripped config must actually run.
+	back.Sim.SamplePackets = 200
+	back.Traffic.Pattern = Uniform() // broadcast at rate 0.1 is fine too, keep it quick
+	if _, err := Run(back); err != nil {
+		t.Fatalf("round-tripped config does not run: %v", err)
+	}
+}
+
+func TestLoadConfigJSONStringEnums(t *testing.T) {
+	src := `{
+	  "Width": 4, "Height": 4,
+	  "Router": {"Kind": "wormhole", "BufferDepth": 64, "FlitBits": 256},
+	  "Link": {"LengthMm": 3},
+	  "Traffic": {"Pattern": {"Kind": "uniform"}, "Rate": 0.05, "PacketLength": 5},
+	  "Sim": {"SamplePackets": 200, "Deadlock": "bubble", "Arbiter": "round-robin"}
+	}`
+	cfg, err := LoadConfigJSON([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Router.Kind != Wormhole || cfg.Sim.Arbiter != RoundRobinArbiter {
+		t.Errorf("parsed config wrong: %+v", cfg)
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SamplePackets != 200 {
+		t.Errorf("measured %d packets", res.SamplePackets)
+	}
+}
+
+func TestLoadConfigJSONErrors(t *testing.T) {
+	if _, err := LoadConfigJSON([]byte(`{`)); err == nil {
+		t.Error("malformed JSON should fail")
+	}
+	if _, err := LoadConfigJSON([]byte(`{"Router": {"Kind": "quantum"}}`)); err == nil {
+		t.Error("unknown router kind should fail")
+	}
+	if _, err := LoadConfigJSON([]byte(`{"Traffic": {"Pattern": {"Kind": "zigzag"}}}`)); err == nil {
+		t.Error("unknown pattern should fail")
+	}
+	if _, err := LoadConfigJSON([]byte(`{"Sim": {"Deadlock": "prayer"}}`)); err == nil {
+		t.Error("unknown deadlock mode should fail")
+	}
+	// Integer enum values stay accepted.
+	cfg, err := LoadConfigJSON([]byte(`{"Router": {"Kind": 1}}`))
+	if err != nil {
+		t.Fatalf("integer enum rejected: %v", err)
+	}
+	if cfg.Router.Kind != Wormhole {
+		t.Errorf("integer enum parsed to %v", cfg.Router.Kind)
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if PatternHotspot.String() != "hotspot" || PatternKind(99).String() != "PatternKind(99)" {
+		t.Error("pattern names wrong")
+	}
+	if QueuingArbiter.String() != "queuing" || ArbiterKind(99).String() != "ArbiterKind(99)" {
+		t.Error("arbiter names wrong")
+	}
+	if DeadlockNone.String() != "none" || DeadlockMode(99).String() != "DeadlockMode(99)" {
+		t.Error("deadlock names wrong")
+	}
+}

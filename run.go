@@ -1,0 +1,492 @@
+package orion
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"orion/internal/core"
+	"orion/internal/power"
+	"orion/internal/router"
+	"orion/internal/sim"
+	"orion/internal/stats"
+	"orion/internal/tech"
+	"orion/internal/topology"
+	"orion/internal/traffic"
+)
+
+// PowerBreakdown aggregates average power by component, in watts — the
+// quantities behind the paper's Figures 5(c), 7(c) and 7(f). Constant
+// (traffic-insensitive) chip-to-chip link power is included in LinkW.
+type PowerBreakdown struct {
+	BufferW        float64
+	CrossbarW      float64
+	ArbiterW       float64
+	LinkW          float64
+	CentralBufferW float64
+}
+
+// Total returns the sum over components.
+func (b PowerBreakdown) Total() float64 {
+	return b.BufferW + b.CrossbarW + b.ArbiterW + b.LinkW + b.CentralBufferW
+}
+
+// Result reports one simulation's outcome.
+type Result struct {
+	// AvgLatency is the mean sample-packet latency in cycles, measured
+	// from packet creation (including source queuing) to last-flit
+	// ejection (Section 4.1).
+	AvgLatency float64
+	// MinLatency and MaxLatency bound the sample.
+	MinLatency, MaxLatency float64
+	// LatencyStdDev is the sample standard deviation.
+	LatencyStdDev float64
+	// LatencyP50, LatencyP95 and LatencyP99 are latency percentiles
+	// (nearest-rank).
+	LatencyP50, LatencyP95, LatencyP99 float64
+	// SamplePackets is the number of measured packets.
+	SamplePackets int64
+
+	// MeasuredCycles is the measurement window; TotalCycles includes
+	// warm-up.
+	MeasuredCycles, TotalCycles int64
+	// InjectedFlits and EjectedFlits count flits during measurement.
+	InjectedFlits, EjectedFlits int64
+	// AcceptedFlitsPerNodeCycle is delivered throughput.
+	AcceptedFlitsPerNodeCycle float64
+	// AcceptedPacketsPerNodeCycle is delivered packet throughput.
+	AcceptedPacketsPerNodeCycle float64
+
+	// TotalPowerW is total network average power.
+	TotalPowerW float64
+	// NodePowerW is per-node average power, indexed by node id
+	// (y*Width + x) — the spatial distribution of Figure 6.
+	NodePowerW []float64
+	// NodeBreakdown splits each node's power by component (constant
+	// chip-to-chip link power and leakage folded in, like Breakdown).
+	NodeBreakdown []PowerBreakdown
+	// Breakdown splits power by component.
+	Breakdown PowerBreakdown
+	// StaticPowerW is network-wide leakage power, zero unless
+	// SimConfig.IncludeLeakage was set.
+	StaticPowerW float64
+	// EnergyJ is total energy recorded during measurement.
+	EnergyJ float64
+	// Events tallies the microarchitectural operations of the
+	// measurement window — the switching activity the paper monitors
+	// through simulation.
+	Events EventCounts
+	// PowerProfileW is the power-vs-time series sampled every
+	// SimConfig.ProfileWindowCycles (empty unless requested).
+	PowerProfileW []float64
+
+	// OfferedRate echoes the injection rate that produced this result,
+	// convenient when sweeping.
+	OfferedRate float64
+}
+
+// EventCounts tallies energy-consuming operations over the measurement
+// window (Section 3.3's event classes).
+type EventCounts struct {
+	BufferWrites        int64
+	BufferReads         int64
+	Arbitrations        int64
+	VCAllocations       int64
+	CrossbarTraversals  int64
+	LinkTraversals      int64
+	CentralBufferWrites int64
+	CentralBufferReads  int64
+}
+
+// resolve translates the public Config into the internal core.Config.
+func resolve(cfg Config) (core.Config, error) {
+	var out core.Config
+
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		return out, fmt.Errorf("orion: network dimensions must be positive, got %d×%d", cfg.Width, cfg.Height)
+	}
+	var (
+		topo topology.Topology
+		err  error
+	)
+	switch {
+	case cfg.Depth > 1:
+		if cfg.Mesh {
+			return out, fmt.Errorf("orion: 3-D networks are torus only")
+		}
+		var nt *topology.NTorus
+		nt, err = topology.NewNTorus(cfg.Width, cfg.Height, cfg.Depth)
+		if nt != nil {
+			nt.BalancedTies = cfg.BalancedTieRouting
+			topo = nt
+		}
+	case cfg.Mesh:
+		topo, err = topology.NewMesh(cfg.Width, cfg.Height)
+	default:
+		var torus *topology.Torus
+		torus, err = topology.NewTorus(cfg.Width, cfg.Height)
+		if torus != nil {
+			torus.BalancedTies = cfg.BalancedTieRouting
+			topo = torus
+		}
+	}
+	if err != nil {
+		return out, err
+	}
+
+	t := tech.Default()
+	if cfg.Tech.FeatureUm > 0 && cfg.Tech.FeatureUm != t.FeatureUm {
+		t, err = t.Scaled(cfg.Tech.FeatureUm)
+		if err != nil {
+			return out, err
+		}
+	}
+	if cfg.Tech.Vdd > 0 {
+		t.Vdd = cfg.Tech.Vdd
+	}
+	if cfg.Tech.FreqGHz > 0 {
+		t.FreqHz = cfg.Tech.FreqGHz * 1e9
+	}
+
+	rcfg := router.Config{
+		Ports:       topo.Ports(),
+		VCs:         cfg.Router.VCs,
+		BufferDepth: cfg.Router.BufferDepth,
+		FlitBits:    cfg.Router.FlitBits,
+		Speculative: cfg.Router.Speculative,
+	}
+	switch cfg.Router.Kind {
+	case VirtualChannel:
+		rcfg.Kind = router.VirtualChannel
+		if rcfg.VCs == 0 {
+			rcfg.VCs = 2
+		}
+	case Wormhole:
+		rcfg.Kind = router.Wormhole
+		rcfg.VCs = 1
+	case CentralBuffered:
+		rcfg.Kind = router.CentralBuffered
+		rcfg.VCs = 1
+		rcfg.CBBanks = cfg.Router.CentralBuffer.Banks
+		rcfg.CBRows = cfg.Router.CentralBuffer.Rows
+		rcfg.CBReadPorts = cfg.Router.CentralBuffer.ReadPorts
+		rcfg.CBWritePorts = cfg.Router.CentralBuffer.WritePorts
+	default:
+		return out, fmt.Errorf("orion: unknown router kind %d", int(cfg.Router.Kind))
+	}
+
+	lcfg := power.LinkConfig{WidthBits: cfg.Router.FlitBits}
+	if cfg.Link.ChipToChip {
+		lcfg.Kind = power.ChipToChipLink
+		lcfg.ConstantWatts = cfg.Link.ConstantWatts
+	} else {
+		lcfg.Kind = power.OnChipLink
+		lengthMm := cfg.Link.LengthMm
+		if lengthMm <= 0 {
+			lengthMm = 3 // the paper's 4×4 torus on a 12 mm chip
+		}
+		lcfg.LengthUm = lengthMm * 1000
+	}
+
+	var dvs *power.DVSConfig
+	if cfg.Link.DVS != nil {
+		d := power.DefaultDVSConfig()
+		if len(cfg.Link.DVS.Levels) > 0 {
+			d.Levels = nil
+			for _, l := range cfg.Link.DVS.Levels {
+				d.Levels = append(d.Levels, power.DVSLevel{VddScale: l.VddScale, SpeedScale: l.SpeedScale})
+			}
+		}
+		if cfg.Link.DVS.WindowCycles > 0 {
+			d.WindowCycles = cfg.Link.DVS.WindowCycles
+		}
+		if cfg.Link.DVS.UpUtil > 0 {
+			d.UpUtil = cfg.Link.DVS.UpUtil
+		}
+		if cfg.Link.DVS.DownUtil > 0 {
+			d.DownUtil = cfg.Link.DVS.DownUtil
+		}
+		dvs = &d
+	}
+
+	nodes := topo.Nodes()
+	if cfg.Traffic.Rate < 0 || cfg.Traffic.Rate > 1 {
+		return out, fmt.Errorf("orion: injection rate %g outside [0,1]", cfg.Traffic.Rate)
+	}
+	tcfg := traffic.Config{
+		PacketLength: cfg.Traffic.PacketLength,
+		FlitBits:     cfg.Router.FlitBits,
+		Seed:         cfg.Traffic.Seed,
+	}
+	switch cfg.Traffic.Pattern.Kind {
+	case PatternUniform:
+		tcfg.Pattern = traffic.Uniform{Nodes: nodes}
+		tcfg.Rates = traffic.UniformRates(nodes, cfg.Traffic.Rate)
+	case PatternBroadcast:
+		src := cfg.Traffic.Pattern.Source
+		if src < 0 || src >= nodes {
+			return out, fmt.Errorf("orion: broadcast source %d out of range [0,%d)", src, nodes)
+		}
+		tcfg.Pattern = &traffic.Broadcast{Nodes: nodes, Source: src}
+		tcfg.Rates = traffic.SingleSourceRates(nodes, src, cfg.Traffic.Rate)
+	case PatternTranspose:
+		if cfg.Depth > 1 {
+			return out, fmt.Errorf("orion: transpose is a 2-D pattern")
+		}
+		if cfg.Width != cfg.Height {
+			return out, fmt.Errorf("orion: transpose needs a square network, got %d×%d", cfg.Width, cfg.Height)
+		}
+		tcfg.Pattern = traffic.Transpose{Width: cfg.Width}
+		tcfg.Rates = traffic.UniformRates(nodes, cfg.Traffic.Rate)
+	case PatternBitComplement:
+		tcfg.Pattern = traffic.BitComplement{Nodes: nodes}
+		tcfg.Rates = traffic.UniformRates(nodes, cfg.Traffic.Rate)
+	case PatternTornado:
+		if cfg.Depth > 1 {
+			return out, fmt.Errorf("orion: tornado is a 2-D pattern")
+		}
+		tcfg.Pattern = traffic.Tornado{Width: cfg.Width, Height: cfg.Height}
+		tcfg.Rates = traffic.UniformRates(nodes, cfg.Traffic.Rate)
+	case PatternHotspot:
+		hot := cfg.Traffic.Pattern.Source
+		if hot < 0 || hot >= nodes {
+			return out, fmt.Errorf("orion: hotspot node %d out of range [0,%d)", hot, nodes)
+		}
+		tcfg.Pattern = traffic.Hotspot{Nodes: nodes, Hot: hot, Fraction: cfg.Traffic.Pattern.Fraction}
+		tcfg.Rates = traffic.UniformRates(nodes, cfg.Traffic.Rate)
+	case PatternNeighbor:
+		if cfg.Depth > 1 {
+			return out, fmt.Errorf("orion: neighbor is a 2-D pattern")
+		}
+		tcfg.Pattern = traffic.Neighbor{Width: cfg.Width, Height: cfg.Height}
+		tcfg.Rates = traffic.UniformRates(nodes, cfg.Traffic.Rate)
+	default:
+		return out, fmt.Errorf("orion: unknown traffic pattern %d", int(cfg.Traffic.Pattern.Kind))
+	}
+
+	var arb power.ArbiterKind
+	switch cfg.Sim.Arbiter {
+	case MatrixArbiter:
+		arb = power.MatrixArbiter
+	case RoundRobinArbiter:
+		arb = power.RoundRobinArbiter
+	case QueuingArbiter:
+		arb = power.QueuingArbiter
+	default:
+		return out, fmt.Errorf("orion: unknown arbiter kind %d", int(cfg.Sim.Arbiter))
+	}
+	xbk := power.MatrixCrossbar
+	if cfg.Sim.MuxTreeCrossbar {
+		xbk = power.MuxTreeCrossbar
+	}
+	var dl core.DeadlockMode
+	switch cfg.Sim.Deadlock {
+	case DeadlockBubble:
+		dl = core.DeadlockBubble
+	case DeadlockDateline:
+		dl = core.DeadlockDateline
+	case DeadlockNone:
+		dl = core.DeadlockNone
+	default:
+		return out, fmt.Errorf("orion: unknown deadlock mode %d", int(cfg.Sim.Deadlock))
+	}
+
+	out = core.Config{
+		Topology:       topo,
+		Router:         rcfg,
+		Link:           lcfg,
+		Tech:           t,
+		Traffic:        tcfg,
+		ArbiterKind:    arb,
+		CrossbarKind:   xbk,
+		FixedActivity:  cfg.Sim.FixedActivity,
+		Deadlock:       dl,
+		IncludeLeakage: cfg.Sim.IncludeLeakage,
+		LinkDVS:        dvs,
+		ProfileWindow:  cfg.Sim.ProfileWindowCycles,
+		WarmupCycles:   cfg.Sim.WarmupCycles,
+		SamplePackets:  cfg.Sim.SamplePackets,
+		MaxCycles:      cfg.Sim.MaxCycles,
+	}
+	return out, nil
+}
+
+func fromCore(r *core.Result, rate float64) *Result {
+	var nodeBreakdown []PowerBreakdown
+	if r.Power != nil {
+		nodeBreakdown = make([]PowerBreakdown, len(r.Power.NodeWatts))
+		for n := range r.Power.NodeWatts {
+			w := r.Power.NodeWatts[n]
+			s := r.Power.NodeStaticWatts[n]
+			nodeBreakdown[n] = PowerBreakdown{
+				BufferW:        w[stats.CompBuffer] + s[stats.CompBuffer],
+				CrossbarW:      w[stats.CompCrossbar] + s[stats.CompCrossbar],
+				ArbiterW:       w[stats.CompArbiter] + s[stats.CompArbiter],
+				LinkW:          w[stats.CompLink] + s[stats.CompLink] + r.Power.NodeConstWatts[n],
+				CentralBufferW: w[stats.CompCentralBuffer] + s[stats.CompCentralBuffer],
+			}
+		}
+	}
+	return &Result{
+		AvgLatency:                  r.AvgLatency,
+		MinLatency:                  r.MinLatency,
+		MaxLatency:                  r.MaxLatency,
+		LatencyStdDev:               r.LatencyStdDev,
+		LatencyP50:                  r.LatencyP50,
+		LatencyP95:                  r.LatencyP95,
+		LatencyP99:                  r.LatencyP99,
+		NodeBreakdown:               nodeBreakdown,
+		SamplePackets:               r.SamplePackets,
+		MeasuredCycles:              r.MeasuredCycles,
+		TotalCycles:                 r.TotalCycles,
+		InjectedFlits:               r.InjectedFlits,
+		EjectedFlits:                r.EjectedFlits,
+		AcceptedFlitsPerNodeCycle:   r.AcceptedFlitsPerNodeCycle,
+		AcceptedPacketsPerNodeCycle: r.AcceptedPacketsPerNodeCycle,
+		TotalPowerW:                 r.TotalPowerW,
+		NodePowerW:                  r.NodePowerW,
+		Breakdown: PowerBreakdown{
+			BufferW:        r.ComponentPowerW[stats.CompBuffer],
+			CrossbarW:      r.ComponentPowerW[stats.CompCrossbar],
+			ArbiterW:       r.ComponentPowerW[stats.CompArbiter],
+			LinkW:          r.ComponentPowerW[stats.CompLink],
+			CentralBufferW: r.ComponentPowerW[stats.CompCentralBuffer],
+		},
+		StaticPowerW: r.StaticPowerW,
+		EnergyJ:      r.EnergyJ,
+		Events: EventCounts{
+			BufferWrites:        r.EventCounts[sim.EvBufferWrite],
+			BufferReads:         r.EventCounts[sim.EvBufferRead],
+			Arbitrations:        r.EventCounts[sim.EvArbitration],
+			VCAllocations:       r.EventCounts[sim.EvVCAllocation],
+			CrossbarTraversals:  r.EventCounts[sim.EvCrossbarTraversal],
+			LinkTraversals:      r.EventCounts[sim.EvLinkTraversal],
+			CentralBufferWrites: r.EventCounts[sim.EvCentralBufWrite],
+			CentralBufferReads:  r.EventCounts[sim.EvCentralBufRead],
+		},
+		PowerProfileW: r.PowerProfileW,
+		OfferedRate:   rate,
+	}
+}
+
+// Run builds and executes one simulation.
+func Run(cfg Config) (*Result, error) {
+	ccfg, err := resolve(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.RunConfig(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	return fromCore(res, cfg.Traffic.Rate), nil
+}
+
+// RunTrace runs the configuration with packet injections replayed from a
+// communication trace instead of a synthetic pattern, implementing the
+// paper's note that Orion "can be interfaced with actual communication
+// traces" (Section 4.3). The trace is whitespace-separated text with one
+// record per line — "cycle src dst" — where cycles are absolute simulation
+// cycles and src/dst are node indices. Traffic.Pattern and Traffic.Rate
+// are ignored; packet length and seed still apply (payload bits are
+// synthesised, as traces carry no data).
+func RunTrace(cfg Config, trace io.Reader) (*Result, error) {
+	recs, err := traffic.ParseTrace(trace)
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("orion: trace contains no records")
+	}
+	cfg.Traffic.Pattern = Uniform()
+	cfg.Traffic.Rate = 0
+	ccfg, err := resolve(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range recs {
+		if r.Src >= ccfg.Topology.Nodes() || r.Dst >= ccfg.Topology.Nodes() {
+			return nil, fmt.Errorf("orion: trace node %d/%d outside %d-node network", r.Src, r.Dst, ccfg.Topology.Nodes())
+		}
+	}
+	ccfg.Trace = traffic.NewTrace(recs)
+	res, err := core.RunConfig(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	return fromCore(res, 0), nil
+}
+
+// ZeroLoadLatency measures the configuration's contention-free latency.
+func ZeroLoadLatency(cfg Config) (float64, error) {
+	if cfg.Traffic.Rate == 0 {
+		cfg.Traffic.Rate = 0.01
+	}
+	ccfg, err := resolve(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return core.ZeroLoadLatency(ccfg)
+}
+
+// Sweep runs the configuration at each injection rate concurrently and
+// returns results in rate order. Rates that fail (e.g. deep saturation
+// hitting MaxCycles) yield a nil entry and the first error is returned
+// alongside the partial results.
+func Sweep(cfg Config, rates []float64) ([]*Result, error) {
+	results := make([]*Result, len(rates))
+	errs := make([]error, len(rates))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, r := range rates {
+		wg.Add(1)
+		go func(i int, r float64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c := cfg
+			c.Traffic.Rate = r
+			res, err := Run(c)
+			results[i], errs[i] = res, err
+		}(i, r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// SaturationThroughput sweeps the injection rates and returns the lowest
+// rate whose latency exceeds twice the zero-load latency — the paper's
+// saturation definition (Section 4.1). ok is false when the network does
+// not saturate within the given rates.
+func SaturationThroughput(cfg Config, rates []float64) (rate float64, ok bool, results []*Result, err error) {
+	zl, err := ZeroLoadLatency(cfg)
+	if err != nil {
+		return 0, false, nil, err
+	}
+	results, err = Sweep(cfg, rates)
+	// A deep-saturation failure still witnesses saturation; scan what we
+	// have.
+	var rs, ls []float64
+	for i, res := range results {
+		if res != nil {
+			rs = append(rs, rates[i])
+			ls = append(ls, res.AvgLatency)
+		} else {
+			// Treat an aborted (over-saturated) run as infinitely
+			// slow at that rate.
+			rs = append(rs, rates[i])
+			ls = append(ls, 1e18)
+		}
+	}
+	rate, ok = stats.SaturationRate(rs, ls, zl)
+	if ok {
+		err = nil
+	}
+	return rate, ok, results, err
+}
