@@ -1,0 +1,30 @@
+# Development entry points. `make ci` is what the CI workflow runs.
+
+GO ?= go
+
+.PHONY: build vet test race bench-smoke bench ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# A fast allocation-regression check: the Publish and router-tick
+# micro-benchmarks must report 0 allocs/op (also pinned by the
+# *ZeroAlloc tests, which `test` runs).
+bench-smoke:
+	$(GO) test ./internal/sim ./internal/router -run '^$$' \
+		-bench 'BenchmarkBusPublish$$|BenchmarkRouterTick' -benchtime 100x -benchmem
+
+# Full hot-path benchmark sweep, recorded to BENCH_hotpath.json.
+bench:
+	scripts/bench.sh
+
+ci: build vet race bench-smoke

@@ -17,6 +17,7 @@ const benchSamples = 2000
 func benchRun(b *testing.B, cfg Config) *Result {
 	b.Helper()
 	cfg.Sim.SamplePackets = benchSamples
+	b.ReportAllocs()
 	var last *Result
 	for i := 0; i < b.N; i++ {
 		res, err := Run(cfg)
@@ -231,6 +232,7 @@ func BenchmarkAblationLeakage(b *testing.B) {
 func BenchmarkSimulatorSpeed(b *testing.B) {
 	cfg := OnChip4x4(VC16(), 0.10)
 	cfg.Sim.SamplePackets = benchSamples
+	b.ReportAllocs()
 	var cycles int64
 	for i := 0; i < b.N; i++ {
 		res, err := Run(cfg)

@@ -8,9 +8,12 @@
 // Usage:
 //
 //	orion-exp [-fig all|walkthrough|5|6|7|ablations] [-samples N] [-seed N]
+//	          [-cpuprofile FILE] [-memprofile FILE]
 //
 // The default sample size follows the paper (10,000 packets per run);
-// -samples 2000 gives a quick pass with the same shapes.
+// -samples 2000 gives a quick pass with the same shapes. -cpuprofile and
+// -memprofile write runtime/pprof profiles of the whole run for analysis
+// with `go tool pprof`.
 package main
 
 import (
@@ -20,16 +23,30 @@ import (
 	"time"
 
 	"orion"
+	"orion/internal/prof"
 )
 
 var (
 	figFlag     = flag.String("fig", "all", "which figure to run: all, walkthrough, 5, 6, 7, ablations")
 	samplesFlag = flag.Int("samples", 0, "sample packets per run (0 = paper's 10000)")
 	seedFlag    = flag.Int64("seed", 1, "workload seed")
+	cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile  = flag.String("memprofile", "", "write a heap profile to this file")
 )
 
 func main() {
 	flag.Parse()
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "orion-exp: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "orion-exp: %v\n", err)
+			os.Exit(1)
+		}
+	}()
 	opt := orion.ExperimentOptions{SamplePackets: *samplesFlag, Seed: *seedFlag}
 
 	start := time.Now()

@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"orion"
+	"orion/internal/prof"
 )
 
 var (
@@ -37,6 +38,8 @@ var (
 	flits      = flag.Int("flits", 256, "flit width in bits")
 	chip2chip  = flag.Bool("chip2chip", false, "chip-to-chip links (3 W each)")
 	csvOut     = flag.String("csv", "", "also write the curve to a CSV file for plotting")
+	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile = flag.String("memprofile", "", "write a heap profile to this file")
 )
 
 func fail(format string, args ...any) {
@@ -64,6 +67,16 @@ func presetConfig(name string) (orion.Config, bool) {
 
 func main() {
 	flag.Parse()
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "orion-sweep: %v\n", err)
+			os.Exit(1)
+		}
+	}()
 
 	var cfg orion.Config
 	if *preset != "" {

@@ -57,6 +57,12 @@ type Config struct {
 	// frequency, saving power at a latency cost. On-chip links only.
 	LinkDVS *power.DVSConfig
 
+	// ReferenceEventPath hooks power models to the event bus through the
+	// map-based reference listener instead of the frozen fast path
+	// (testing hook: the two must be observably identical; see the
+	// golden tests and DESIGN.md "Performance").
+	ReferenceEventPath bool
+
 	// ProfileWindow, when positive, samples network power every that
 	// many cycles over the measurement period, producing a power-vs-time
 	// profile in the result (useful for watching DVS adaptation and

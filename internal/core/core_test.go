@@ -210,6 +210,30 @@ func TestZeroLoadLatency(t *testing.T) {
 	}
 }
 
+// TestZeroLoadLatencyReusesGuards: the probe copies the caller's config
+// wholesale, so a MaxCycles too small for even the light probe must surface
+// as the caller's own abort diagnostic instead of spinning to an unrelated
+// limit.
+func TestZeroLoadLatencyReusesGuards(t *testing.T) {
+	cfg := testConfig(t, 0.10)
+	cfg.MaxCycles = 250 // probe warm-up alone is 200 cycles
+	_, err := ZeroLoadLatency(cfg)
+	if err == nil || !strings.Contains(err.Error(), "zero-load run") {
+		t.Errorf("expected the caller's MaxCycles abort wrapped as a zero-load error, got %v", err)
+	}
+
+	// The probe overrides only intensity and sample size: with sane guards
+	// it succeeds even when the caller's rate is deep past saturation.
+	sat := testConfig(t, 0.95)
+	zl, err := ZeroLoadLatency(sat)
+	if err != nil {
+		t.Fatalf("probe at ZeroLoadProbeRate should not saturate: %v", err)
+	}
+	if zl < 10 || zl > 30 {
+		t.Errorf("zero-load latency = %.1f, want ≈17", zl)
+	}
+}
+
 func TestBroadcastHotspot(t *testing.T) {
 	cfg := testConfig(t, 0)
 	src := 9 // (1,2) in the paper's coordinates

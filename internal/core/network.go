@@ -54,7 +54,6 @@ func Build(cfg Config) (*Network, error) {
 	account := stats.NewEnergyAccount(nodes)
 	meter := stats.NewMeter(account)
 	meter.SetFixedActivity(cfg.FixedActivity)
-	bus.Subscribe(meter.Listen)
 
 	n := &Network{
 		cfg:       cfg,
@@ -115,6 +114,15 @@ func Build(cfg Config) (*Network, error) {
 	}
 	if err := n.registerPowerModels(); err != nil {
 		return nil, err
+	}
+	// Hook the meter to the bus only after every component is registered:
+	// the default fast path freezes the registration maps into flat
+	// per-event-type tables (stats.Meter.Attach); the reference path keeps
+	// the map-based listener for cross-validation.
+	if cfg.ReferenceEventPath {
+		meter.AttachReference(bus)
+	} else {
+		meter.Attach(bus)
 	}
 
 	gen, err := traffic.NewGenerator(cfg.Traffic, topo)

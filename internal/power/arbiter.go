@@ -78,6 +78,12 @@ type ArbiterModel struct {
 	EInt   float64
 	EPri   float64
 
+	// EReqInt = EReq + EInt, the per-request-line toggle cost,
+	// precomputed so RequestEnergy on the hot path is one multiply.
+	EReqInt float64
+	// priBits caches PriorityBits(): R(R-1)/2, R, or 0 by kind.
+	priBits int
+
 	// FF is the priority/pointer flip-flop sub-model.
 	FF *FlipFlopModel
 	// Queue is the request FIFO, present only for queuing arbiters
@@ -110,6 +116,13 @@ func NewArbiter(cfg ArbiterConfig, t tech.Params) (*ArbiterModel, error) {
 	m.EGrant = t.EnergyPerSwitch(m.CGrant)
 	m.EInt = t.EnergyPerSwitch(m.CInt)
 	m.EPri = t.EnergyPerSwitch(m.CPri)
+	m.EReqInt = m.EReq + m.EInt
+	switch cfg.Kind {
+	case MatrixArbiter:
+		m.priBits = cfg.Requesters * (cfg.Requesters - 1) / 2
+	case RoundRobinArbiter:
+		m.priBits = cfg.Requesters
+	}
 
 	ff, err := NewFlipFlop(t)
 	if err != nil {
@@ -149,21 +162,14 @@ func (m *ArbiterModel) RequestEnergy(switchingReqs int) float64 {
 	if switchingReqs > m.Config.Requesters {
 		switchingReqs = m.Config.Requesters
 	}
-	return float64(switchingReqs) * (m.EReq + m.EInt)
+	return float64(switchingReqs) * m.EReqInt
 }
 
 // PriorityBits returns the number of priority storage bits: R(R-1)/2 for a
 // matrix arbiter, R for a round-robin pointer, 0 for a queuing arbiter.
+// The value is precomputed in NewArbiter.
 func (m *ArbiterModel) PriorityBits() int {
-	R := m.Config.Requesters
-	switch m.Config.Kind {
-	case MatrixArbiter:
-		return R * (R - 1) / 2
-	case RoundRobinArbiter:
-		return R
-	default:
-		return 0
-	}
+	return m.priBits
 }
 
 // ArbiterState tracks the request lines and priority storage of one

@@ -64,6 +64,11 @@ type BufferModel struct {
 	EPrecharge float64
 	ECell      float64
 	ESenseAmp  float64 // E_amp, empirical (Table 2)
+
+	// ERead is the full read energy E_read = E_wl + F·(E_br + 2·E_chg +
+	// E_amp), precomputed at build time: reads are data-independent, so
+	// the per-event hot path is a single load.
+	ERead float64
 }
 
 // NewBuffer derives the buffer power model from its configuration.
@@ -103,16 +108,17 @@ func NewBuffer(cfg BufferConfig, t tech.Params) (*BufferModel, error) {
 	m.EPrecharge = t.EnergyPerSwitch(m.CPrecharge)
 	m.ECell = t.EnergyPerSwitch(m.CCell)
 	m.ESenseAmp = t.EnergyPerSwitch(t.SenseAmpCap)
+	m.ERead = m.EWordline + F*(m.EBitlineR+2*m.EPrecharge+m.ESenseAmp)
 	return m, nil
 }
 
 // ReadEnergy returns the energy of one read operation (Table 2):
 // E_read = E_wl + F·(E_br + 2·E_chg + E_amp).
 // Reads are data-independent: every bitline is precharged and one of each
-// differential pair discharges regardless of the value read.
+// differential pair discharges regardless of the value read, so the value
+// is a constant precomputed in NewBuffer.
 func (m *BufferModel) ReadEnergy() float64 {
-	F := float64(m.Config.FlitBits)
-	return m.EWordline + F*(m.EBitlineR+2*m.EPrecharge+m.ESenseAmp)
+	return m.ERead
 }
 
 // WriteEnergy returns the energy of one write operation (Table 2):

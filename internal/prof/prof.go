@@ -1,0 +1,52 @@
+// Package prof wires the runtime/pprof profilers into the command-line
+// tools, so hot-path work (see the Performance section of DESIGN.md) can be
+// profiled on the real experiment workloads rather than only on the
+// micro-benchmarks.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath when non-empty and returns a stop
+// function that finishes the CPU profile and, when memPath is non-empty,
+// writes a heap profile. Call stop once on the way out of main (profiles
+// are not written when the process exits through os.Exit).
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: starting CPU profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("prof: closing CPU profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+			defer f.Close()
+			// An up-to-date heap picture: collect garbage so the profile
+			// reflects live objects, not transient garbage.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("prof: writing heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -181,7 +181,7 @@ func (r *CBRouter) receive(cycle int64) error {
 					return fmt.Errorf("cb router %d: input %d overflow: flow control violated by %v", r.node, p, f)
 				}
 				r.inQ[p].push(f)
-				r.bus.Publish(&sim.Event{
+				r.bus.Publish(sim.Event{
 					Type: sim.EvBufferWrite, Cycle: cycle, Node: r.node,
 					Port: p, VC: 0, Data: f.Payload,
 				})
@@ -191,30 +191,27 @@ func (r *CBRouter) receive(cycle int64) error {
 	return nil
 }
 
-// readable returns the next flit an output could send this cycle, or nil.
-func (r *CBRouter) readable(o int, cycle int64) *cbEntry {
+// readable reports whether output o could send its next flit this cycle.
+func (r *CBRouter) readable(o int, cycle int64) bool {
 	if r.outFree[o] > cycle {
-		return nil // link throttled (e.g. DVS at reduced frequency)
+		return false // link throttled (e.g. DVS at reduced frequency)
 	}
 	pkt, ok := r.outQ[o].front()
 	if !ok {
-		return nil
+		return false
 	}
 	e, ok := pkt.entries.front()
 	if !ok || e.writeCycle >= cycle {
-		return nil
+		return false
 	}
 	if r.outInfinite[o] {
-		return &e
+		return true
 	}
 	need := 1
 	if e.f.Kind.IsHead() && r.cfg.Bubble {
 		need = r.cfg.bubbleCredits(pkt.inPort, o, e.f)
 	}
-	if r.outCredits[o] < need {
-		return nil
-	}
-	return &e
+	return r.outCredits[o] >= need
 }
 
 // readStage allocates the central buffer's read ports among output ports
@@ -222,13 +219,13 @@ func (r *CBRouter) readable(o int, cycle int64) *cbEntry {
 func (r *CBRouter) readStage(cycle int64) error {
 	var req uint64
 	for o := 0; o < r.cfg.Ports; o++ {
-		if r.readable(o, cycle) != nil {
+		if r.readable(o, cycle) {
 			req |= 1 << uint(o)
 		}
 	}
 	for rp := 0; rp < r.cfg.CBReadPorts && req != 0; rp++ {
 		o := r.readPick[rp].pick(req)
-		r.bus.Publish(&sim.Event{
+		r.bus.Publish(sim.Event{
 			Type: sim.EvArbitration, Cycle: cycle, Node: r.node,
 			Stage: sim.StageOutput, Port: rp, ReqVector: req, Winner: o,
 		})
@@ -240,7 +237,7 @@ func (r *CBRouter) readStage(cycle int64) error {
 		pkt, _ := r.outQ[o].front()
 		e, _ := pkt.entries.pop()
 		r.used--
-		r.bus.Publish(&sim.Event{
+		r.bus.Publish(sim.Event{
 			Type: sim.EvCentralBufRead, Cycle: cycle, Node: r.node,
 			Port: e.bank, OutPort: rp, Data: e.f.Payload,
 		})
@@ -252,7 +249,7 @@ func (r *CBRouter) readStage(cycle int64) error {
 		f.VC = 0
 		if o != r.cfg.Ports-1 { // not the ejection port
 			f.Hop++
-			r.bus.Publish(&sim.Event{
+			r.bus.Publish(sim.Event{
 				Type: sim.EvLinkTraversal, Cycle: cycle, Node: r.node,
 				Port: o, Data: f.Payload,
 			})
@@ -289,7 +286,7 @@ func (r *CBRouter) writeStage(cycle int64) error {
 	}
 	for wp := 0; wp < r.cfg.CBWritePorts && req != 0; wp++ {
 		p := r.writePick[wp].pick(req)
-		r.bus.Publish(&sim.Event{
+		r.bus.Publish(sim.Event{
 			Type: sim.EvArbitration, Cycle: cycle, Node: r.node,
 			Stage: sim.StageInput, Port: wp, ReqVector: req, Winner: p,
 		})
@@ -299,7 +296,7 @@ func (r *CBRouter) writeStage(cycle int64) error {
 		req &^= 1 << uint(p)
 
 		f, _ := r.inQ[p].pop()
-		r.bus.Publish(&sim.Event{
+		r.bus.Publish(sim.Event{
 			Type: sim.EvBufferRead, Cycle: cycle, Node: r.node,
 			Port: p, VC: 0,
 		})
@@ -320,6 +317,9 @@ func (r *CBRouter) writeStage(cycle int64) error {
 		var pkt *cbPacket
 		if f.Kind.IsHead() {
 			pkt = &cbPacket{inPort: p}
+			// One entry per flit of the packet: sizing the record up
+			// front avoids append growth during the packet's writes.
+			pkt.entries.items = make([]cbEntry, 0, packetLength(f))
 			r.curWrite[p] = pkt
 			r.outQ[outPort].push(pkt)
 		} else {
@@ -332,7 +332,7 @@ func (r *CBRouter) writeStage(cycle int64) error {
 		r.bankNext = (r.bankNext + 1) % r.cfg.CBBanks
 		pkt.entries.push(cbEntry{f: f, bank: bank, writeCycle: cycle})
 		r.used++
-		r.bus.Publish(&sim.Event{
+		r.bus.Publish(sim.Event{
 			Type: sim.EvCentralBufWrite, Cycle: cycle, Node: r.node,
 			Port: wp, OutPort: bank, Data: f.Payload,
 		})

@@ -82,6 +82,9 @@ type XBRouter struct {
 	outCred []*sim.Wire[flit.Credit]
 
 	stExec []grant
+	// cand is the per-stage scratch for the winning VC per input port,
+	// reused across cycles so allocation stages never allocate.
+	cand []int
 
 	saIn, saOut []picker
 	vaIn, vaOut []picker
@@ -124,6 +127,7 @@ func NewXB(node int, cfg Config, bus *sim.Bus) (*XBRouter, error) {
 		inCred:  make([]*sim.Wire[flit.Credit], cfg.Ports),
 		outData: make([]*sim.Wire[*flit.Flit], cfg.Ports),
 		outCred: make([]*sim.Wire[flit.Credit], cfg.Ports),
+		cand:    make([]int, cfg.Ports),
 		saIn:    make([]picker, cfg.Ports),
 		saOut:   make([]picker, cfg.Ports),
 		vaIn:    make([]picker, cfg.Ports),
@@ -283,7 +287,7 @@ func (r *XBRouter) acceptFlit(cycle int64, port int, f *flit.Flit) error {
 		return fmt.Errorf("buffer overflow at port %d vc %d: flow control violated by %v", port, f.VC, f)
 	}
 	ivc.q.push(f)
-	r.bus.Publish(&sim.Event{
+	r.bus.Publish(sim.Event{
 		Type: sim.EvBufferWrite, Cycle: cycle, Node: r.node,
 		Port: port, VC: f.VC, Data: f.Payload,
 	})
@@ -319,8 +323,11 @@ func (r *XBRouter) refresh(port, vc int) error {
 // switchTraversal executes last cycle's switch grants: buffer read,
 // crossbar traversal, link traversal, credit return.
 func (r *XBRouter) switchTraversal(cycle int64) error {
+	// Switch allocation runs after traversal within a tick, so the grant
+	// list can be walked in place and truncated for reuse — the backing
+	// array is recycled instead of reallocated every cycle.
 	grants := r.stExec
-	r.stExec = nil
+	r.stExec = r.stExec[:0]
 	for _, g := range grants {
 		ivc := &r.in[g.inPort][g.inVC]
 		f, ok := ivc.q.pop()
@@ -331,11 +338,11 @@ func (r *XBRouter) switchTraversal(cycle int64) error {
 		if ref := r.inRings[g.inPort][g.inVC]; ref != nil {
 			ref.ring.Add(ref.idx, -1)
 		}
-		r.bus.Publish(&sim.Event{
+		r.bus.Publish(sim.Event{
 			Type: sim.EvBufferRead, Cycle: cycle, Node: r.node,
 			Port: g.inPort, VC: g.inVC,
 		})
-		r.bus.Publish(&sim.Event{
+		r.bus.Publish(sim.Event{
 			Type: sim.EvCrossbarTraversal, Cycle: cycle, Node: r.node,
 			Port: g.inPort, OutPort: g.outPort, Data: f.Payload,
 		})
@@ -350,7 +357,7 @@ func (r *XBRouter) switchTraversal(cycle int64) error {
 		f.VC = g.outVC
 		if !r.isEjection(g.outPort) {
 			f.Hop++
-			r.bus.Publish(&sim.Event{
+			r.bus.Publish(sim.Event{
 				Type: sim.EvLinkTraversal, Cycle: cycle, Node: r.node,
 				Port: g.outPort, Data: f.Payload,
 			})
@@ -423,7 +430,7 @@ func (r *XBRouter) saEligible(port, vc int) bool {
 // grants for next cycle's traversal.
 func (r *XBRouter) switchAllocation(cycle int64) error {
 	// Stage 1: per input port, pick one requesting VC.
-	candidate := make([]int, r.cfg.Ports) // winning VC per input, -1 if none
+	candidate := r.cand // winning VC per input, -1 if none
 	for p := 0; p < r.cfg.Ports; p++ {
 		candidate[p] = -1
 		var req uint64
@@ -444,7 +451,7 @@ func (r *XBRouter) switchAllocation(cycle int64) error {
 		}
 		w := r.saIn[p].pick(req)
 		candidate[p] = w
-		r.bus.Publish(&sim.Event{
+		r.bus.Publish(sim.Event{
 			Type: sim.EvArbitration, Cycle: cycle, Node: r.node,
 			Stage: sim.StageInput, Port: p, ReqVector: req, Winner: w,
 		})
@@ -468,7 +475,7 @@ func (r *XBRouter) switchAllocation(cycle int64) error {
 			continue
 		}
 		slot := r.saOut[o].pick(req)
-		r.bus.Publish(&sim.Event{
+		r.bus.Publish(sim.Event{
 			Type: sim.EvArbitration, Cycle: cycle, Node: r.node,
 			Stage: sim.StageOutput, Port: o, ReqVector: req, Winner: slot,
 		})
@@ -500,7 +507,7 @@ func (r *XBRouter) switchAllocation(cycle int64) error {
 // vcAllocation performs the separable virtual-channel allocation for head
 // flits (3-stage pipeline, first stage).
 func (r *XBRouter) vcAllocation(cycle int64) {
-	candidate := make([]int, r.cfg.Ports)
+	candidate := r.cand
 	for p := 0; p < r.cfg.Ports; p++ {
 		candidate[p] = -1
 		var req uint64
@@ -528,7 +535,7 @@ func (r *XBRouter) vcAllocation(cycle int64) {
 		}
 		w := r.vaIn[p].pick(req)
 		candidate[p] = w
-		r.bus.Publish(&sim.Event{
+		r.bus.Publish(sim.Event{
 			Type: sim.EvVCAllocation, Cycle: cycle, Node: r.node,
 			Stage: sim.StageInput, Port: p, ReqVector: req, Winner: w,
 		})
@@ -548,7 +555,7 @@ func (r *XBRouter) vcAllocation(cycle int64) {
 			continue
 		}
 		slot := r.vaOut[o].pick(req)
-		r.bus.Publish(&sim.Event{
+		r.bus.Publish(sim.Event{
 			Type: sim.EvVCAllocation, Cycle: cycle, Node: r.node,
 			Stage: sim.StageOutput, Port: o, ReqVector: req, Winner: slot,
 		})

@@ -1,0 +1,73 @@
+package sim
+
+import "testing"
+
+// Publish is the innermost loop of a simulation (every buffer access,
+// arbitration, crossbar and link traversal passes through it), so its
+// allocation behaviour is pinned by tests, not just observed in benchmarks:
+// a regression from 0 allocs/op multiplies into hundreds of thousands of
+// heap objects per run.
+
+func busForBench() (*Bus, *float64) {
+	var bus Bus
+	sink := new(float64)
+	bus.Subscribe(func(e *Event) { *sink += float64(e.Cycle) })
+	bus.SubscribeType(EvBufferWrite, func(e *Event) { *sink += float64(e.Port) })
+	bus.SubscribeType(EvLinkTraversal, func(e *Event) { *sink += float64(e.Port) })
+	return &bus, sink
+}
+
+func BenchmarkBusPublish(b *testing.B) {
+	bus, sink := busForBench()
+	data := []uint64{0xdeadbeefcafef00d}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(Event{
+			Type: EvBufferWrite, Cycle: int64(i), Node: 3, Port: 1, Data: data,
+		})
+	}
+	_ = sink
+}
+
+func BenchmarkBusPublishUntyped(b *testing.B) {
+	// An event type with no typed listeners: only the all-event fan-out.
+	bus, sink := busForBench()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(Event{Type: EvArbitration, Cycle: int64(i), ReqVector: 0b1011, Winner: 1})
+	}
+	_ = sink
+}
+
+func TestBusPublishZeroAlloc(t *testing.T) {
+	bus, _ := busForBench()
+	data := []uint64{42}
+	allocs := testing.AllocsPerRun(1000, func() {
+		bus.Publish(Event{Type: EvBufferWrite, Node: 1, Port: 2, Data: data})
+		bus.Publish(Event{Type: EvLinkTraversal, Node: 1, Port: 0, Data: data})
+		bus.Publish(Event{Type: EvArbitration, ReqVector: 3, Winner: 0})
+	})
+	if allocs != 0 {
+		t.Errorf("Publish allocated %.1f objects per 3 events, want 0", allocs)
+	}
+}
+
+func TestWireSendZeroAlloc(t *testing.T) {
+	w := NewWire[int]("bench")
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := w.Send(7); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Latch(); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := w.Take(); !ok {
+			t.Fatal("value lost")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Wire Send/Latch/Take allocated %.1f objects per cycle, want 0", allocs)
+	}
+}

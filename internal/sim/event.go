@@ -121,13 +121,25 @@ const (
 )
 
 // Listener receives published events. The event and its slices must not be
-// retained beyond the call.
+// retained beyond the call: the bus reuses one scratch Event across all
+// publishes, so a retained pointer is overwritten by the next event.
 type Listener func(*Event)
 
 // Bus is the event subsystem. Modules publish events; power models and
 // statistics collectors subscribe. The zero value is ready to use.
+//
+// Publish is the innermost loop of a simulation — every buffer access,
+// arbitration, crossbar and link traversal passes through it — so it is
+// built to be allocation-free: events are passed by value, staged in a
+// single bus-owned scratch slot, and delivered by pointer to that slot.
+// Listeners may subscribe to all events (Subscribe) or to a single event
+// type (SubscribeType); typed listeners are not invoked for other types, so
+// e.g. a link power model never pays for arbitration events.
 type Bus struct {
-	listeners []Listener
+	all    []Listener
+	byType [NumEventTypes][]Listener
+	// scratch is the reusable delivery slot; see Publish.
+	scratch Event
 	// Count tallies published events by type; always maintained, even
 	// with no listeners, so tests can assert module behaviour cheaply.
 	Count [NumEventTypes]int64
@@ -138,17 +150,43 @@ func (b *Bus) Subscribe(l Listener) {
 	if l == nil {
 		return
 	}
-	b.listeners = append(b.listeners, l)
+	b.all = append(b.all, l)
 }
 
-// Publish delivers an event to all listeners in subscription order.
-func (b *Bus) Publish(e *Event) {
-	if e.Type >= 0 && int(e.Type) < NumEventTypes {
-		b.Count[e.Type]++
+// SubscribeType registers a listener invoked only for events of type t,
+// after any all-event listeners. Out-of-range types are ignored.
+func (b *Bus) SubscribeType(t EventType, l Listener) {
+	if l == nil || t < 0 || int(t) >= NumEventTypes {
+		return
 	}
-	for _, l := range b.listeners {
-		l(e)
+	b.byType[t] = append(b.byType[t], l)
+}
+
+// Publish delivers an event to every all-event listener in subscription
+// order, then to the listeners subscribed to the event's type. The event is
+// passed by value and delivered through a bus-owned scratch slot, so
+// publishing never allocates.
+func (b *Bus) Publish(e Event) {
+	t := int(e.Type)
+	if t >= 0 && t < NumEventTypes {
+		b.Count[t]++
 	}
+	b.scratch = e
+	for _, l := range b.all {
+		l(&b.scratch)
+	}
+	if t >= 0 && t < NumEventTypes {
+		for _, l := range b.byType[t] {
+			l(&b.scratch)
+		}
+	}
+}
+
+// Snapshot returns a copy of the per-type event counters, for explicit
+// before/after deltas (Count is an array field, so reading it already
+// copies; Snapshot states the intent).
+func (b *Bus) Snapshot() [NumEventTypes]int64 {
+	return b.Count
 }
 
 // Total returns the total number of events published.

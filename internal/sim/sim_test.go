@@ -103,9 +103,9 @@ func TestBusCountsAndDispatch(t *testing.T) {
 	var got []EventType
 	b.Subscribe(func(e *Event) { got = append(got, e.Type) })
 	b.Subscribe(nil) // must be ignored
-	b.Publish(&Event{Type: EvBufferWrite})
-	b.Publish(&Event{Type: EvBufferRead})
-	b.Publish(&Event{Type: EvBufferWrite})
+	b.Publish(Event{Type: EvBufferWrite})
+	b.Publish(Event{Type: EvBufferRead})
+	b.Publish(Event{Type: EvBufferWrite})
 	if len(got) != 3 || got[0] != EvBufferWrite || got[1] != EvBufferRead {
 		t.Errorf("dispatch order wrong: %v", got)
 	}

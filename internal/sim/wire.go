@@ -18,13 +18,17 @@ type Latchable interface {
 // Wires model the paper's single-cycle data and credit channels
 // (Section 4.1: "propagation delay across data and credit channels is
 // assumed to take a single cycle").
+// Values are stored inline (value + validity flag) rather than behind
+// pointers so that Send never allocates: a wire carries one flit per cycle
+// on the simulation's hottest path.
 type Wire[T any] struct {
-	name     string
-	cur      *T
-	next     *T
-	strict   bool
-	dropped  int64
-	consumed bool
+	name    string
+	cur     T
+	next    T
+	curOK   bool
+	nextOK  bool
+	strict  bool
+	dropped int64
 }
 
 // NewWire returns a strict wire: overwriting an unconsumed value is an
@@ -46,34 +50,36 @@ func (w *Wire[T]) Name() string { return w.name }
 // Send places a value on the wire for delivery next cycle. It reports an
 // error if a value was already sent this cycle.
 func (w *Wire[T]) Send(v T) error {
-	if w.next != nil {
+	if w.nextOK {
 		return fmt.Errorf("sim: wire %q: double send in one cycle", w.name)
 	}
-	w.next = &v
+	w.next = v
+	w.nextOK = true
 	return nil
 }
 
 // Busy reports whether a value has already been sent this cycle.
-func (w *Wire[T]) Busy() bool { return w.next != nil }
+func (w *Wire[T]) Busy() bool { return w.nextOK }
 
 // Peek returns the value visible this cycle without consuming it.
 func (w *Wire[T]) Peek() (T, bool) {
-	if w.cur == nil {
+	if !w.curOK {
 		var zero T
 		return zero, false
 	}
-	return *w.cur, true
+	return w.cur, true
 }
 
 // Take consumes and returns the value visible this cycle.
 func (w *Wire[T]) Take() (T, bool) {
-	if w.cur == nil {
+	if !w.curOK {
 		var zero T
 		return zero, false
 	}
-	v := *w.cur
-	w.cur = nil
-	w.consumed = true
+	v := w.cur
+	var zero T
+	w.cur = zero
+	w.curOK = false
 	return v, true
 }
 
@@ -82,17 +88,18 @@ func (w *Wire[T]) Dropped() int64 { return w.dropped }
 
 // Latch implements Latchable.
 func (w *Wire[T]) Latch() error {
-	if w.cur != nil {
+	if w.curOK {
 		w.dropped++
 		if w.strict {
 			leftover := w.cur
-			w.cur = w.next
-			w.next = nil
-			return fmt.Errorf("sim: wire %q: value %v not consumed before next delivery", w.name, *leftover)
+			w.cur, w.curOK = w.next, w.nextOK
+			var zero T
+			w.next, w.nextOK = zero, false
+			return fmt.Errorf("sim: wire %q: value %v not consumed before next delivery", w.name, leftover)
 		}
 	}
-	w.cur = w.next
-	w.next = nil
-	w.consumed = false
+	w.cur, w.curOK = w.next, w.nextOK
+	var zero T
+	w.next, w.nextOK = zero, false
 	return nil
 }

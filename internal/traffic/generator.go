@@ -83,6 +83,9 @@ type Generator struct {
 	rng    *rand.Rand
 	nextID int64
 	words  int
+	// scratch is Tick's reusable output buffer; the caller consumes the
+	// returned slice before the next Tick.
+	scratch []NewPacket
 	// Generated counts packets created per node.
 	Generated []int64
 }
@@ -106,9 +109,11 @@ func NewGenerator(cfg Config, topo topology.Topology) (*Generator, error) {
 }
 
 // Tick generates this cycle's new packets. The sample flag tags packets
-// belonging to the measurement window.
+// belonging to the measurement window. The returned slice is valid only
+// until the next Tick: it reuses one scratch buffer so steady-state
+// generation does not allocate.
 func (g *Generator) Tick(cycle int64, sample bool) ([]NewPacket, error) {
-	var out []NewPacket
+	out := g.scratch[:0]
 	for n := 0; n < g.topo.Nodes(); n++ {
 		r := g.cfg.Rates[n]
 		if r <= 0 || g.rng.Float64() >= r {
@@ -124,11 +129,15 @@ func (g *Generator) Tick(cycle int64, sample bool) ([]NewPacket, error) {
 		}
 		out = append(out, p)
 	}
+	g.scratch = out
 	return out, nil
 }
 
 // MakePacket creates one packet from src to dst with a source-computed
 // route and random payloads. It is exported for trace replay and tests.
+// Flits and payloads are carved from two batch allocations per packet; the
+// random words are drawn flit by flit in the same order as always, so
+// seeded workloads are unchanged.
 func (g *Generator) MakePacket(src, dst int, cycle int64, sample bool) (NewPacket, error) {
 	route, err := g.topo.Route(src, dst)
 	if err != nil {
@@ -146,6 +155,8 @@ func (g *Generator) MakePacket(src, dst int, cycle int64, sample bool) (NewPacke
 		Sample:    sample,
 	}
 	flits := make([]*flit.Flit, g.cfg.PacketLength)
+	backing := make([]flit.Flit, g.cfg.PacketLength)
+	words := make([]uint64, g.cfg.PacketLength*g.words)
 	for i := range flits {
 		kind := flit.Body
 		switch {
@@ -156,17 +167,19 @@ func (g *Generator) MakePacket(src, dst int, cycle int64, sample bool) (NewPacke
 		case i == g.cfg.PacketLength-1:
 			kind = flit.Tail
 		}
-		payload := make([]uint64, g.words)
+		payload := words[:g.words:g.words]
+		words = words[g.words:]
 		for w := range payload {
 			payload[w] = g.rng.Uint64()
 		}
 		flit.MaskPayload(payload, g.cfg.FlitBits)
-		flits[i] = &flit.Flit{
+		backing[i] = flit.Flit{
 			Packet:  pkt,
 			Seq:     i,
 			Kind:    kind,
 			Payload: payload,
 		}
+		flits[i] = &backing[i]
 	}
 	g.Generated[src]++
 	return NewPacket{Packet: pkt, Flits: flits}, nil

@@ -214,6 +214,11 @@ type SimConfig struct {
 	// that many cycles, producing Result.PowerProfileW — a power-vs-time
 	// trace of the measurement period.
 	ProfileWindowCycles int64
+	// ReferenceEventPath hooks power models to the event bus through the
+	// map-based reference listener instead of the frozen fast path. The
+	// two paths are observably identical (the golden tests assert bit
+	// equality); this is a testing/diagnostics hook, not a tuning knob.
+	ReferenceEventPath bool
 }
 
 // DeadlockMode selects how dimension-ordered routing on a torus is kept

@@ -308,6 +308,8 @@ func resolve(cfg Config) (core.Config, error) {
 		WarmupCycles:   cfg.Sim.WarmupCycles,
 		SamplePackets:  cfg.Sim.SamplePackets,
 		MaxCycles:      cfg.Sim.MaxCycles,
+
+		ReferenceEventPath: cfg.Sim.ReferenceEventPath,
 	}
 	return out, nil
 }
@@ -430,28 +432,39 @@ func ZeroLoadLatency(cfg Config) (float64, error) {
 	return core.ZeroLoadLatency(ccfg)
 }
 
-// Sweep runs the configuration at each injection rate concurrently and
-// returns results in rate order. Rates that fail (e.g. deep saturation
-// hitting MaxCycles) yield a nil entry and the first error is returned
+// Sweep runs the configuration at each injection rate concurrently on a
+// bounded worker pool (runtime.NumCPU() workers, so a thousand-point sweep
+// spawns a dozen goroutines, not a thousand) and returns results in rate
+// order. Rates that fail (e.g. deep saturation hitting MaxCycles) yield a
+// nil entry and the error of the earliest failing rate is returned
 // alongside the partial results.
 func Sweep(cfg Config, rates []float64) ([]*Result, error) {
 	results := make([]*Result, len(rates))
 	errs := make([]error, len(rates))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i, r := range rates {
-		wg.Add(1)
-		go func(i int, r float64) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			c := cfg
-			c.Traffic.Rate = r
-			res, err := Run(c)
-			results[i], errs[i] = res, err
-		}(i, r)
+
+	workers := runtime.NumCPU()
+	if workers > len(rates) {
+		workers = len(rates)
 	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				c := cfg
+				c.Traffic.Rate = rates[i]
+				results[i], errs[i] = Run(c)
+			}
+		}()
+	}
+	for i := range rates {
+		idx <- i
+	}
+	close(idx)
 	wg.Wait()
+
 	for _, err := range errs {
 		if err != nil {
 			return results, err
