@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench-smoke bench ci
+.PHONY: build vet test race fuzz-smoke bench-smoke bench ci
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,14 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	ORION_INVARIANTS=1 $(GO) test -race ./...
+
+# Short fuzz pass over every parser that accepts external input (config
+# JSON, fault specs, trace files); CI runs the same three targets.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzLoadConfigJSON -fuzztime 10s .
+	$(GO) test -run '^$$' -fuzz FuzzParseFaultSpec -fuzztime 10s .
+	$(GO) test -run '^$$' -fuzz FuzzParseTrace -fuzztime 10s ./internal/traffic
 
 # A fast allocation-regression check: the Publish and router-tick
 # micro-benchmarks must report 0 allocs/op (also pinned by the
@@ -27,4 +34,4 @@ bench-smoke:
 bench:
 	scripts/bench.sh
 
-ci: build vet race bench-smoke
+ci: build vet race bench-smoke fuzz-smoke

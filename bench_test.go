@@ -17,6 +17,9 @@ const benchSamples = 2000
 func benchRun(b *testing.B, cfg Config) *Result {
 	b.Helper()
 	cfg.Sim.SamplePackets = benchSamples
+	// InvariantAuto would enable the checker under `go test -bench`;
+	// benchmarks measure the production hot path, so force it off.
+	cfg.CheckInvariants = InvariantOff
 	b.ReportAllocs()
 	var last *Result
 	for i := 0; i < b.N; i++ {

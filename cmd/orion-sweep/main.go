@@ -14,7 +14,9 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +42,14 @@ var (
 	csvOut     = flag.String("csv", "", "also write the curve to a CSV file for plotting")
 	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile = flag.String("memprofile", "", "write a heap profile to this file")
+
+	faultSpec = flag.String("faults", "",
+		"inject faults: comma-separated kind:node:port[:start[:duration[:rate]]] "+
+			"(kinds: link-stall, link-drop, port-stall, bit-flip)")
+	faultLinks = flag.Int("fault-links", 0, "inject N random link-drop faults (degraded-network curve)")
+	faultSeed  = flag.Int64("fault-seed", 1, "fault schedule seed")
+	invariants = flag.String("invariants", "auto", "runtime invariant checker: auto, on, off")
+	pointTmo   = flag.Duration("point-timeout", 0, "per-point wall-clock deadline (0 = none), e.g. 30s")
 )
 
 func fail(format string, args ...any) {
@@ -112,6 +122,35 @@ func main() {
 	}
 	cfg.Sim.SamplePackets = *samples
 	cfg.Traffic.Seed = *seed
+	cfg.Sim.PointTimeout = *pointTmo
+	switch *invariants {
+	case "auto":
+		cfg.CheckInvariants = orion.InvariantAuto
+	case "on":
+		cfg.CheckInvariants = orion.InvariantOn
+	case "off":
+		cfg.CheckInvariants = orion.InvariantOff
+	default:
+		fail("unknown invariant mode %q (want auto, on or off)", *invariants)
+	}
+	var faults []orion.Fault
+	if *faultSpec != "" {
+		fs, err := orion.ParseFaultSpec(*faultSpec)
+		if err != nil {
+			fail("%v", err)
+		}
+		faults = append(faults, fs...)
+	}
+	if *faultLinks > 0 {
+		fs, err := orion.RandomLinkFaults(cfg, *faultSeed, *faultLinks, orion.FaultLinkDrop, 0, 0, 0)
+		if err != nil {
+			fail("%v", err)
+		}
+		faults = append(faults, fs...)
+	}
+	if len(faults) > 0 {
+		cfg.Faults = &orion.FaultsConfig{Seed: *faultSeed, Faults: faults}
+	}
 
 	var rates []float64
 	for _, tok := range strings.Split(*ratesIn, ",") {
@@ -128,20 +167,35 @@ func main() {
 	}
 	fmt.Printf("zero-load latency: %.2f cycles\n", zl)
 
-	results, _ := orion.Sweep(cfg, rates)
+	results, sweepErr := orion.Sweep(cfg, rates)
+	pointErrs := make(map[int]error)
+	var serr *orion.SweepError
+	if errors.As(sweepErr, &serr) {
+		for j, r := range serr.Rates {
+			for i, rate := range rates {
+				if rate == r && results[i] == nil && pointErrs[i] == nil {
+					pointErrs[i] = serr.Errs[j]
+					break
+				}
+			}
+		}
+	}
 	fmt.Printf("%8s %12s %14s %12s\n", "rate", "latency", "throughput", "power(W)")
 	sat, satFound := 0.0, false
 	for i, res := range results {
-		lat := 0.0
 		if res == nil {
-			fmt.Printf("%8.3f %12s %14s %12s  (over-saturated: run aborted)\n", rates[i], "--", "--", "--")
-			lat = 1e18
-		} else {
-			fmt.Printf("%8.3f %12.2f %14.4f %12.4g\n",
-				rates[i], res.AvgLatency, res.AcceptedFlitsPerNodeCycle, res.TotalPowerW)
-			lat = res.AvgLatency
+			fmt.Printf("%8.3f %12s %14s %12s  (%s)\n", rates[i], "--", "--", "--", classify(pointErrs[i]))
+			// An over-saturated point that could not finish marks saturation;
+			// other failures (timeout, deadlock, cancellation) say nothing
+			// about the latency curve.
+			if errors.Is(pointErrs[i], orion.ErrSaturated) && (!satFound || rates[i] < sat) {
+				sat, satFound = rates[i], true
+			}
+			continue
 		}
-		if lat > 2*zl && (!satFound || rates[i] < sat) {
+		fmt.Printf("%8.3f %12.2f %14.4f %12.4g\n",
+			rates[i], res.AvgLatency, res.AcceptedFlitsPerNodeCycle, res.TotalPowerW)
+		if res.AvgLatency > 2*zl && (!satFound || rates[i] < sat) {
 			sat, satFound = rates[i], true
 		}
 	}
@@ -157,6 +211,32 @@ func main() {
 		}
 		fmt.Printf("curve written to %s\n", *csvOut)
 	}
+}
+
+// classify renders a failed point's error as a short cause tag using the
+// package's typed sentinels.
+func classify(err error) string {
+	var cause string
+	switch {
+	case err == nil:
+		return "run aborted"
+	case errors.Is(err, orion.ErrSaturated):
+		cause = "over-saturated"
+	case errors.Is(err, orion.ErrDeadlock):
+		cause = "no progress"
+	case errors.Is(err, orion.ErrInvariant):
+		cause = "invariant violated"
+	case errors.Is(err, context.DeadlineExceeded):
+		cause = "point timeout"
+	case errors.Is(err, context.Canceled):
+		cause = "cancelled"
+	default:
+		cause = "failed"
+	}
+	if errors.Is(err, orion.ErrFaulted) {
+		cause += ", fault-induced"
+	}
+	return cause
 }
 
 // writeCSV emits one row per rate point with the quantities of the paper's

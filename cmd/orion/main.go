@@ -70,6 +70,17 @@ var (
 	configPath = flag.String("config", "", "load the full configuration from a JSON file (other flags ignored)")
 	dumpConfig = flag.Bool("dump-config", false, "print the effective configuration as JSON and exit")
 	profileWin = flag.Int64("profile", 0, "sample power every N cycles and print the power-vs-time trace")
+
+	faultSpec = flag.String("faults", "",
+		"inject faults: comma-separated kind:node:port[:start[:duration[:rate]]] "+
+			"(kinds: link-stall, link-drop, port-stall, bit-flip)")
+	faultLinks = flag.Int("fault-links", 0, "inject N random link faults of -fault-kind instead of -faults")
+	faultKind  = flag.String("fault-kind", "link-stall", "random link fault kind: link-stall, link-drop, bit-flip")
+	faultSeed  = flag.Int64("fault-seed", 1, "fault schedule seed (drives link picks and bit-flip draws)")
+	faultStart = flag.Int64("fault-start", 0, "first faulty cycle")
+	faultDur   = flag.Int64("fault-duration", 0, "fault window in cycles (0 = permanent)")
+	faultRate  = flag.Float64("fault-rate", 0.01, "per-flit corruption probability of bit-flip faults")
+	invariants = flag.String("invariants", "auto", "runtime invariant checker: auto, on, off")
 )
 
 func fail(format string, args ...any) {
@@ -164,6 +175,7 @@ func main() {
 	if *profileWin > 0 {
 		cfg.Sim.ProfileWindowCycles = *profileWin
 	}
+	applyFaultFlags(&cfg)
 	if *dumpConfig {
 		data, err := orion.ConfigJSON(cfg)
 		if err != nil {
@@ -215,6 +227,12 @@ func main() {
 	fmt.Printf("events:         %d buf writes, %d buf reads, %d arbitrations, %d VC allocs, %d xbar traversals, %d link traversals, %d/%d CB writes/reads\n",
 		ev.BufferWrites, ev.BufferReads, ev.Arbitrations, ev.VCAllocations,
 		ev.CrossbarTraversals, ev.LinkTraversals, ev.CentralBufferWrites, ev.CentralBufferReads)
+	if cfg.Faults != nil {
+		fs := res.Faults
+		fmt.Printf("faults:         %d packets (%d flits) dropped, %d sample packets lost, %d flits corrupted (%d bits), %d link-stall and %d port-stall blocked cycles\n",
+			fs.DroppedPackets, fs.DroppedFlits, res.DroppedSamplePackets,
+			fs.FlippedFlits, fs.FlippedBits, fs.StalledLinkCycles, fs.StalledPortCycles)
+	}
 	if *showMap {
 		m, err := orion.HeatmapString(res, cfg.Width, cfg.Height)
 		if err == nil {
@@ -235,4 +253,53 @@ func topoName(mesh bool) string {
 		return "mesh"
 	}
 	return "torus"
+}
+
+// applyFaultFlags translates the fault and invariant flags onto the
+// configuration (after -config loading, so flags refine a config file).
+func applyFaultFlags(cfg *orion.Config) {
+	switch *invariants {
+	case "auto":
+		cfg.CheckInvariants = orion.InvariantAuto
+	case "on":
+		cfg.CheckInvariants = orion.InvariantOn
+	case "off":
+		cfg.CheckInvariants = orion.InvariantOff
+	default:
+		fail("unknown invariant mode %q (want auto, on or off)", *invariants)
+	}
+
+	var faults []orion.Fault
+	if *faultSpec != "" {
+		fs, err := orion.ParseFaultSpec(*faultSpec)
+		if err != nil {
+			fail("%v", err)
+		}
+		faults = append(faults, fs...)
+	}
+	if *faultLinks > 0 {
+		var kind orion.FaultKind
+		switch *faultKind {
+		case "link-stall":
+			kind = orion.FaultLinkStall
+		case "link-drop":
+			kind = orion.FaultLinkDrop
+		case "bit-flip", "bitflip":
+			kind = orion.FaultBitFlip
+		default:
+			fail("unknown fault kind %q (want link-stall, link-drop or bit-flip)", *faultKind)
+		}
+		rate := 0.0
+		if kind == orion.FaultBitFlip {
+			rate = *faultRate
+		}
+		fs, err := orion.RandomLinkFaults(*cfg, *faultSeed, *faultLinks, kind, *faultStart, *faultDur, rate)
+		if err != nil {
+			fail("%v", err)
+		}
+		faults = append(faults, fs...)
+	}
+	if len(faults) > 0 {
+		cfg.Faults = &orion.FaultsConfig{Seed: *faultSeed, Faults: faults}
+	}
 }

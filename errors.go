@@ -1,0 +1,73 @@
+package orion
+
+import (
+	"fmt"
+
+	"orion/internal/core"
+	"orion/internal/fault"
+)
+
+// Sentinel errors classifying run failures. Every error returned by Run,
+// RunContext, RunTrace, Sweep and SweepContext that stems from one of
+// these conditions wraps the matching sentinel, so callers branch with
+// errors.Is instead of matching message strings:
+//
+//	res, err := orion.Run(cfg)
+//	switch {
+//	case errors.Is(err, orion.ErrSaturated):
+//		// offered load beyond capacity — back off the rate
+//	case errors.Is(err, orion.ErrDeadlock):
+//		// no delivery progress — deadlock or total starvation
+//	case errors.Is(err, orion.ErrInvariant):
+//		// simulator self-check failed; errors.As(*InvariantError)
+//	}
+//
+// A failure caused by injected faults (e.g. a permanent link stall
+// starving the sample) additionally wraps ErrFaulted, so
+// errors.Is(err, ErrFaulted) distinguishes fault-induced saturation from
+// organic saturation.
+var (
+	// ErrSaturated marks a run that hit MaxCycles before delivering its
+	// sample packets.
+	ErrSaturated = core.ErrSaturated
+	// ErrDeadlock marks a run with no flit delivered for a full progress
+	// window while sample packets were outstanding.
+	ErrDeadlock = core.ErrDeadlock
+	// ErrInvariant marks a run aborted by the runtime invariant checker.
+	ErrInvariant = core.ErrInvariant
+	// ErrFaulted marks failures attributable to an active fault schedule.
+	ErrFaulted = fault.ErrFaulted
+)
+
+// InvariantError is the structured diagnostic behind ErrInvariant: the
+// violated invariant, the cycle, and the node/port/VC/component involved.
+// Recover it with errors.As:
+//
+//	var ie *orion.InvariantError
+//	if errors.As(err, &ie) {
+//		log.Printf("invariant %s at cycle %d node %d", ie.Invariant, ie.Cycle, ie.Node)
+//	}
+type InvariantError = core.InvariantError
+
+// SweepError aggregates the failures of a Sweep or SweepContext: Rates
+// lists the failing injection rates (in sweep order) and Errs the
+// corresponding errors. It unwraps to every underlying error, so
+// errors.Is(err, ErrSaturated) reports whether any point saturated.
+type SweepError struct {
+	// Rates are the injection rates whose runs failed.
+	Rates []float64
+	// Errs are the per-point errors, parallel to Rates.
+	Errs []error
+}
+
+// Error implements error.
+func (e *SweepError) Error() string {
+	if len(e.Errs) == 1 {
+		return fmt.Sprintf("orion: sweep: rate %g failed: %v", e.Rates[0], e.Errs[0])
+	}
+	return fmt.Sprintf("orion: sweep: %d of the swept rates failed, first at rate %g: %v",
+		len(e.Errs), e.Rates[0], e.Errs[0])
+}
+
+// Unwrap exposes every per-point error to errors.Is/errors.As.
+func (e *SweepError) Unwrap() []error { return e.Errs }

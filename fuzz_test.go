@@ -1,0 +1,59 @@
+package orion
+
+import "testing"
+
+// FuzzLoadConfigJSON throws arbitrary bytes at the config loader. It must
+// never panic: either the input is rejected with an error, or it yields a
+// validated config that round-trips through ConfigJSON.
+func FuzzLoadConfigJSON(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"Width": 4, "Height": 4}`))
+	f.Add([]byte(`{"Router": {"Kind": "vc", "VCs": 2, "BufferDepth": 8, "FlitBits": 64}}`))
+	f.Add([]byte(`{"Traffic": {"Pattern": "transpose", "Rate": 0.1}, "Sim": {"SamplePackets": 10}}`))
+	f.Add([]byte(`{"Faults": {"Seed": 1, "Faults": [{"Kind": "link-drop", "Node": 0, "Port": 0}]},
+		"CheckInvariants": "on"}`))
+	f.Add([]byte(`{"Width": -1, "Traffic": {"Rate": 99}}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"Width": 1e999}`))
+	good, err := ConfigJSON(fastConfig(0.05))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := LoadConfigJSON(data)
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		// A config the loader accepts must be valid and serialisable.
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("LoadConfigJSON accepted an invalid config: %v", err)
+		}
+		if _, err := ConfigJSON(cfg); err != nil {
+			t.Fatalf("accepted config does not round-trip: %v", err)
+		}
+	})
+}
+
+// FuzzParseFaultSpec exercises the CLI fault grammar: arbitrary spec
+// strings must parse or error, never panic, and parsed faults must pass
+// per-fault shallow validation.
+func FuzzParseFaultSpec(f *testing.F) {
+	f.Add("link-stall:3:1")
+	f.Add("bit-flip:0:2:1000:500:0.01,link-drop:5:0:200")
+	f.Add("port-stall:0:0:0:0")
+	f.Add(":::::")
+	f.Add("link-stall:-1:-2:-3")
+	f.Fuzz(func(t *testing.T, spec string) {
+		faults, err := ParseFaultSpec(spec)
+		if err != nil {
+			return
+		}
+		for i, fa := range faults {
+			if fa.Kind < FaultLinkStall || fa.Kind > FaultBitFlip {
+				t.Fatalf("fault %d: parsed impossible kind %d from %q", i, fa.Kind, spec)
+			}
+		}
+	})
+}

@@ -7,6 +7,7 @@ package core
 import (
 	"fmt"
 
+	"orion/internal/fault"
 	"orion/internal/power"
 	"orion/internal/router"
 	"orion/internal/tech"
@@ -62,6 +63,18 @@ type Config struct {
 	// (testing hook: the two must be observably identical; see the
 	// golden tests and DESIGN.md "Performance").
 	ReferenceEventPath bool
+
+	// Faults, when set, injects the seeded fault schedule into the run:
+	// link stalls/drops, router port stalls, and payload bit-flips (see
+	// internal/fault). Identical schedules replay identically.
+	Faults *fault.Config
+
+	// CheckInvariants attaches the runtime invariant checker (see
+	// Checker): conservation, occupancy and delivery-order violations
+	// abort the run with an InvariantError instead of corrupting results.
+	// Costs per-event bookkeeping; off by default here (the public API
+	// turns it on automatically under `go test`).
+	CheckInvariants bool
 
 	// ProfileWindow, when positive, samples network power every that
 	// many cycles over the measurement period, producing a power-vs-time
@@ -146,6 +159,13 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// ValidateConfig checks a configuration exactly as Build will see it —
+// defaults filled in, then the full cross-field validation — without
+// building anything. The public API uses it for fail-before-Build checks.
+func ValidateConfig(c Config) error {
+	return c.withDefaults().Validate()
+}
+
 // Validate reports an error for an inconsistent configuration, including
 // deadlock-unsafe combinations on torus topologies.
 func (c Config) Validate() error {
@@ -182,6 +202,12 @@ func (c Config) Validate() error {
 			return fmt.Errorf("core: link DVS requires on-chip links (chip-to-chip links are traffic-insensitive)")
 		}
 		if err := c.LinkDVS.Validate(); err != nil {
+			return err
+		}
+	}
+
+	if c.Faults != nil {
+		if err := c.Faults.Validate(c.Topology.Nodes(), c.Topology.Ports()); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,20 @@
+package core
+
+import "errors"
+
+// Sentinel errors classifying run failures, for errors.Is. The public
+// orion package re-exports these values so callers never import
+// internal/core.
+var (
+	// ErrSaturated marks a run that hit MaxCycles before delivering its
+	// sample: the offered load exceeded the network's capacity (or the
+	// guard was set too tight).
+	ErrSaturated = errors.New("network saturated")
+	// ErrDeadlock marks a run in which no flit was delivered for a full
+	// ProgressWindow while sample packets were outstanding: a routing
+	// deadlock or total starvation.
+	ErrDeadlock = errors.New("no delivery progress")
+	// ErrInvariant marks a run aborted by the runtime invariant checker;
+	// errors.As against *InvariantError recovers the diagnostic.
+	ErrInvariant = errors.New("simulation invariant violated")
+)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"orion/internal/fault"
 	"orion/internal/flit"
 	"orion/internal/power"
 	"orion/internal/router"
@@ -38,6 +39,17 @@ type Network struct {
 	injectedFlits int64
 
 	lastDeliveryCycle int64
+
+	// Fault injection (nil unless cfg.Faults is set) and drop accounting.
+	// sampleDropped counts sample packets whose head was discarded by a
+	// LinkDrop fault: the run's delivery target shrinks accordingly, so a
+	// lossy network still terminates.
+	injector      *fault.Injector
+	droppedFlits  int64
+	sampleDropped int
+
+	// checker is the runtime invariant checker (nil unless enabled).
+	checker *Checker
 }
 
 // Build assembles a network from a validated configuration.
@@ -88,6 +100,14 @@ func Build(cfg Config) (*Network, error) {
 		}
 	}
 
+	if cfg.CheckInvariants {
+		// Subscribe before the meter so occupancy tracking sees events in
+		// the same order either way (the checker never mutates events, so
+		// order is immaterial to results — this just keeps diagnostics
+		// ahead of energy accounting on the failing event).
+		n.checker = NewChecker(bus, nodes, rcfg)
+	}
+
 	for node := 0; node < nodes; node++ {
 		var (
 			r   router.Router
@@ -102,6 +122,21 @@ func Build(cfg Config) (*Network, error) {
 			return nil, err
 		}
 		n.routers[node] = r
+	}
+
+	if cfg.Faults != nil {
+		inj, err := fault.NewInjector(*cfg.Faults, nodes, topo.Ports())
+		if err != nil {
+			return nil, err
+		}
+		n.injector = inj
+		for node := 0; node < nodes; node++ {
+			if nf := inj.Node(node); nf != nil {
+				if err := n.routers[node].SetFaults(nf, n.onDrop); err != nil {
+					return nil, err
+				}
+			}
+		}
 	}
 
 	if err := n.wire(); err != nil {
@@ -292,6 +327,9 @@ func (n *Network) Step(sample bool) error { return n.tick(sample) }
 
 // onEject records delivered flits and sample-packet completion.
 func (n *Network) onEject(f *flit.Flit, cycle int64) {
+	if n.checker != nil {
+		n.checker.OnEject(f, cycle)
+	}
 	n.lastDeliveryCycle = cycle
 	if n.account.Recording() {
 		n.ejectedFlits++
@@ -299,6 +337,22 @@ func (n *Network) onEject(f *flit.Flit, cycle int64) {
 	if f.Kind.IsTail() && f.Packet != nil && f.Packet.Sample {
 		n.sampler.RecordPacket(f.Packet.CreatedAt, cycle, f.Packet.Length)
 		n.sampleReceived++
+	}
+}
+
+// onDrop accounts a flit discarded by a LinkDrop fault. Dropped sample
+// packets shrink the delivery target (they will never arrive), counted on
+// the head flit so a packet dropped mid-body is not counted twice. A drop
+// still counts as forward progress for the deadlock detector — the faulted
+// link is consuming flits, the network is not wedged.
+func (n *Network) onDrop(f *flit.Flit, cycle int64) {
+	if n.checker != nil {
+		n.checker.OnDrop(f, cycle)
+	}
+	n.lastDeliveryCycle = cycle
+	n.droppedFlits++
+	if f.Kind.IsHead() && f.Packet != nil && f.Packet.Sample {
+		n.sampleDropped++
 	}
 }
 

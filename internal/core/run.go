@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"orion/internal/fault"
 	"orion/internal/sim"
 	"orion/internal/stats"
 	"orion/internal/traffic"
@@ -62,6 +64,15 @@ type Result struct {
 	PowerProfileW []float64
 	// ProfileWindowCycles is the sampling window of PowerProfileW.
 	ProfileWindowCycles int64
+
+	// DroppedFlits counts flits discarded by LinkDrop faults over the
+	// whole run (warm-up included); DroppedSamplePackets counts sample
+	// packets the faults destroyed (they reduce the delivery target).
+	DroppedFlits         int64
+	DroppedSamplePackets int64
+	// FaultStats details the fault schedule's observable effects (zero
+	// value when no faults were configured).
+	FaultStats fault.Stats
 }
 
 // Run executes the paper's measurement protocol (Section 4.1) and returns
@@ -74,11 +85,44 @@ type Result struct {
 //     been received;
 //  4. average power = total energy × f_clk / measured cycles.
 func (n *Network) Run() (*Result, error) {
+	return n.RunContext(context.Background())
+}
+
+// ctxPollMask throttles context-cancellation polling to every 1024 cycles:
+// frequent enough that cancellation lands within microseconds of real
+// time, rare enough to cost nothing on the per-cycle hot path.
+const ctxPollMask = 1023
+
+// guardErr classifies a run-guard failure with its sentinel, and
+// additionally wraps fault.ErrFaulted when the fault schedule observably
+// fired — the failure is then attributable to injected faults and callers
+// can tell a faulted saturation from an organic one with errors.Is.
+func (n *Network) guardErr(sentinel error, format string, args ...any) error {
+	msg := fmt.Sprintf(format, args...)
+	if n.injector.Fired() {
+		return fmt.Errorf("core: %s: %w (%w: %+v)", msg, sentinel, fault.ErrFaulted, n.injector.Stats())
+	}
+	return fmt.Errorf("core: %s: %w", msg, sentinel)
+}
+
+// RunContext is Run with cooperative cancellation: the context is polled
+// every 1024 cycles (only when it is cancellable at all), and a cancelled
+// run returns the context's error wrapped with the aborting cycle.
+func (n *Network) RunContext(ctx context.Context) (*Result, error) {
 	cfg := n.cfg
+	poll := ctx.Done() != nil
 
 	// Phase 1: warm-up.
 	for n.engine.Cycle() < cfg.WarmupCycles {
+		if poll && n.engine.Cycle()&ctxPollMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: run cancelled at cycle %d: %w", n.engine.Cycle(), err)
+			}
+		}
 		if err := n.tick(false); err != nil {
+			return nil, err
+		}
+		if err := n.checker.Err(); err != nil {
 			return nil, err
 		}
 	}
@@ -119,8 +163,17 @@ func (n *Network) Run() (*Result, error) {
 		nextProfile = measureStart + cfg.ProfileWindow
 	}
 
-	for n.sampleReceived < target {
+	// Sample packets destroyed by LinkDrop faults can never arrive, so
+	// the delivery condition counts them alongside deliveries; the guard
+	// messages report outstanding packets against the effective target
+	// (trace-capped), not the configured sample size.
+	for n.sampleReceived+n.sampleDropped < target {
 		cycle := n.engine.Cycle()
+		if poll && cycle&ctxPollMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: run cancelled at cycle %d: %w", cycle, err)
+			}
+		}
 		if cycle == nextProfile {
 			e := n.account.Total()
 			profile = append(profile, (e-lastEnergy)*cfg.Tech.FreqHz/float64(cfg.ProfileWindow)+baseWatts)
@@ -128,14 +181,19 @@ func (n *Network) Run() (*Result, error) {
 			nextProfile += cfg.ProfileWindow
 		}
 		if cycle >= cfg.MaxCycles {
-			return nil, fmt.Errorf("core: %d of %d sample packets delivered after %d cycles (network saturated beyond recovery or MaxCycles too small)",
-				n.sampleReceived, cfg.SamplePackets, cycle)
+			return nil, n.guardErr(ErrSaturated,
+				"%d of %d sample packets delivered after %d cycles, %d outstanding (offered load beyond capacity or MaxCycles too small)",
+				n.sampleReceived, target, cycle, target-n.sampleReceived-n.sampleDropped)
 		}
 		if cycle-n.lastDeliveryCycle > cfg.ProgressWindow {
-			return nil, fmt.Errorf("core: no flit delivered for %d cycles with %d sample packets outstanding (deadlock or starvation)",
-				cfg.ProgressWindow, cfg.SamplePackets-n.sampleReceived)
+			return nil, n.guardErr(ErrDeadlock,
+				"no flit delivered for %d cycles with %d of %d sample packets outstanding (deadlock or starvation)",
+				cfg.ProgressWindow, target-n.sampleReceived-n.sampleDropped, target)
 		}
 		if err := n.tick(n.sampleInjected < cfg.SamplePackets); err != nil {
+			return nil, err
+		}
+		if err := n.checker.Err(); err != nil {
 			return nil, err
 		}
 		if hasTrace && cfg.Trace.Done() && n.sampleInjected < target {
@@ -144,6 +202,23 @@ func (n *Network) Run() (*Result, error) {
 	}
 	if err := n.meter.Err(); err != nil {
 		return nil, err
+	}
+	if n.checker != nil {
+		srcQ, buf := n.Snapshot()
+		sq, bf := 0, 0
+		for _, v := range srcQ {
+			sq += v
+		}
+		for _, v := range buf {
+			bf += v
+		}
+		// Every data wire (links, injection, ejection) holds at most one
+		// latched flit, bounding what may legitimately be in flight.
+		wireCap := cfg.Topology.Nodes() * (cfg.Topology.Ports() + 1)
+		n.checker.CheckConservation(n.engine.Cycle(), sq, bf, wireCap)
+		if err := n.checker.Err(); err != nil {
+			return nil, err
+		}
 	}
 
 	measured := n.engine.Cycle() - measureStart
@@ -180,6 +255,11 @@ func (n *Network) Run() (*Result, error) {
 		res.PowerProfileW = profile
 		res.ProfileWindowCycles = cfg.ProfileWindow
 	}
+	res.DroppedFlits = n.droppedFlits
+	res.DroppedSamplePackets = int64(n.sampleDropped)
+	if n.injector != nil {
+		res.FaultStats = n.injector.Stats()
+	}
 	nodes := float64(n.account.Nodes())
 	if measured > 0 {
 		res.AcceptedFlitsPerNodeCycle = float64(n.ejectedFlits) / float64(measured) / nodes
@@ -209,6 +289,9 @@ func (n *Network) tick(sample bool) error {
 		return err
 	}
 	for _, p := range pkts {
+		if n.checker != nil {
+			n.checker.OnInject(p.Packet)
+		}
 		if sample {
 			if n.sampleInjected < n.cfg.SamplePackets {
 				n.sampleInjected++

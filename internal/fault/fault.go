@@ -1,0 +1,350 @@
+// Package fault injects deterministic, seeded hardware faults into a
+// running network simulation, opening degraded-network reliability studies
+// (link-energy work on unreliable interconnects motivates studying latency
+// and power under degraded links) as a first-class workload.
+//
+// Three fault classes are modelled:
+//
+//   - link faults: an inter-router link stalls (flits wait in upstream
+//     buffers, adding latency through backpressure) or drops traffic
+//     (whole packets are discarded at the faulted link with full
+//     flow-control and energy accounting);
+//   - router port stalls: an input port stops bidding for the switch, so
+//     its buffered flits are frozen for the fault window;
+//   - payload bit-flips: flits traversing a faulted link are corrupted in
+//     transit, perturbing the Hamming-distance switching activity that
+//     drives downstream buffer and crossbar energy.
+//
+// A fault schedule is a plain value (Config) validated against the network
+// shape; each simulation builds its own Injector from the schedule, so two
+// runs with identical configurations produce bit-identical results — the
+// reproducibility contract the rest of the simulator already honours.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// ErrFaulted marks run failures attributable to active fault injection
+// (e.g. a permanent link stall starving the sample), for errors.Is.
+var ErrFaulted = errors.New("fault injection active")
+
+// Kind classifies a fault.
+type Kind int
+
+const (
+	// LinkStall blocks an output link: no flit traverses it during the
+	// fault window. Transient stalls add latency through backpressure;
+	// permanent stalls can starve routes into a deadlock diagnosis.
+	LinkStall Kind = iota
+	// LinkDrop discards traffic at an output link. Drops are
+	// packet-granular: a packet whose head flit meets the fault window is
+	// swallowed whole (credits returned, occupancy released, every flit
+	// accounted), so downstream routers never see a headless packet.
+	LinkDrop
+	// PortStall freezes a router input port: its buffered flits stop
+	// bidding for the switch during the fault window.
+	PortStall
+	// BitFlip corrupts flits in transit on an output link: each
+	// traversing flit is hit with probability Rate, flipping one
+	// uniformly random payload bit per hit (drawn from the schedule's
+	// seeded stream).
+	BitFlip
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case LinkStall:
+		return "link-stall"
+	case LinkDrop:
+		return "link-drop"
+	case PortStall:
+		return "port-stall"
+	case BitFlip:
+		return "bit-flip"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Fault is one scheduled fault at a specific router port.
+type Fault struct {
+	// Kind classifies the fault.
+	Kind Kind
+	// Node is the router the fault afflicts.
+	Node int
+	// Port is the network port: the output link for link faults and bit
+	// flips, the input port for port stalls. The local injection/ejection
+	// port cannot be faulted.
+	Port int
+	// Start is the first faulty cycle.
+	Start int64
+	// Duration is the fault window length in cycles; <= 0 means
+	// permanent.
+	Duration int64
+	// Rate is the per-flit corruption probability of a BitFlip fault,
+	// in (0, 1].
+	Rate float64
+}
+
+// active reports whether the fault window covers the cycle.
+func (f Fault) active(cycle int64) bool {
+	if cycle < f.Start {
+		return false
+	}
+	return f.Duration <= 0 || cycle < f.Start+f.Duration
+}
+
+// String implements fmt.Stringer.
+func (f Fault) String() string {
+	span := "permanent"
+	if f.Duration > 0 {
+		span = fmt.Sprintf("cycles [%d,%d)", f.Start, f.Start+f.Duration)
+	} else if f.Start > 0 {
+		span = fmt.Sprintf("from cycle %d", f.Start)
+	}
+	s := fmt.Sprintf("%s at node %d port %d, %s", f.Kind, f.Node, f.Port, span)
+	if f.Kind == BitFlip {
+		s += fmt.Sprintf(", rate %g", f.Rate)
+	}
+	return s
+}
+
+// Config is a complete fault schedule.
+type Config struct {
+	// Seed drives the schedule's random stream (bit-flip positions and
+	// per-flit corruption draws). Identical schedules replay identically.
+	Seed int64
+	// Faults are the scheduled faults.
+	Faults []Fault
+}
+
+// Validate checks the schedule against a network of the given number of
+// nodes, each with ports router ports (the last being the unfaultable
+// local port).
+func (c Config) Validate(nodes, ports int) error {
+	var errs []error
+	for i, f := range c.Faults {
+		at := func(format string, args ...any) {
+			errs = append(errs, fmt.Errorf("fault: Faults[%d]: "+format, append([]any{i}, args...)...))
+		}
+		switch f.Kind {
+		case LinkStall, LinkDrop, PortStall, BitFlip:
+		default:
+			at("unknown kind %d", int(f.Kind))
+		}
+		if f.Node < 0 || f.Node >= nodes {
+			at("node %d outside [0,%d)", f.Node, nodes)
+		}
+		if f.Port < 0 || f.Port >= ports-1 {
+			at("port %d outside network ports [0,%d) (local port cannot be faulted)", f.Port, ports-1)
+		}
+		if f.Start < 0 {
+			at("negative start cycle %d", f.Start)
+		}
+		if f.Kind == BitFlip && (f.Rate <= 0 || f.Rate > 1) {
+			at("bit-flip rate %g outside (0,1]", f.Rate)
+		}
+		if f.Kind != BitFlip && f.Rate != 0 {
+			at("rate %g is only meaningful for bit-flip faults", f.Rate)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Stats tallies the observable effects of a schedule over one run.
+type Stats struct {
+	// DroppedPackets and DroppedFlits count traffic discarded by
+	// LinkDrop faults.
+	DroppedPackets, DroppedFlits int64
+	// FlippedFlits and FlippedBits count BitFlip corruptions.
+	FlippedFlits, FlippedBits int64
+	// StalledLinkCycles counts (link, cycle) pairs in which a LinkStall
+	// fault blocked an otherwise usable output link.
+	StalledLinkCycles int64
+	// StalledPortCycles counts (port, cycle) pairs in which a PortStall
+	// fault froze an input port.
+	StalledPortCycles int64
+}
+
+// Any reports whether any fault observably fired.
+func (s Stats) Any() bool {
+	return s.DroppedFlits != 0 || s.FlippedFlits != 0 ||
+		s.StalledLinkCycles != 0 || s.StalledPortCycles != 0
+}
+
+// Injector is one run's instantiation of a schedule. It owns the seeded
+// random stream and the effect counters; routers query it through per-node
+// views so unfaulted nodes pay a single nil check.
+type Injector struct {
+	nodes []*NodeFaults
+	rng   *rand.Rand
+	stats Stats
+}
+
+// NewInjector builds a run-local injector for a network with the given
+// shape. The schedule must already have been validated.
+func NewInjector(cfg Config, nodes, ports int) (*Injector, error) {
+	if err := cfg.Validate(nodes, ports); err != nil {
+		return nil, err
+	}
+	inj := &Injector{
+		nodes: make([]*NodeFaults, nodes),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for _, f := range cfg.Faults {
+		nf := inj.nodes[f.Node]
+		if nf == nil {
+			nf = &NodeFaults{
+				inj:    inj,
+				stall:  make([][]Fault, ports),
+				drop:   make([][]Fault, ports),
+				pstall: make([][]Fault, ports),
+				flip:   make([][]Fault, ports),
+			}
+			inj.nodes[f.Node] = nf
+		}
+		switch f.Kind {
+		case LinkStall:
+			nf.stall[f.Port] = append(nf.stall[f.Port], f)
+		case LinkDrop:
+			nf.drop[f.Port] = append(nf.drop[f.Port], f)
+		case PortStall:
+			nf.pstall[f.Port] = append(nf.pstall[f.Port], f)
+		case BitFlip:
+			nf.flip[f.Port] = append(nf.flip[f.Port], f)
+		}
+	}
+	return inj, nil
+}
+
+// Node returns the node's fault view, or nil when the node is unfaulted.
+func (i *Injector) Node(n int) *NodeFaults {
+	if i == nil || n < 0 || n >= len(i.nodes) {
+		return nil
+	}
+	return i.nodes[n]
+}
+
+// Stats returns the effect counters accumulated so far.
+func (i *Injector) Stats() Stats { return i.stats }
+
+// Fired reports whether any fault observably affected the run — used to
+// attribute guard failures (saturation, deadlock) to the schedule.
+func (i *Injector) Fired() bool { return i != nil && i.stats.Any() }
+
+// CountDrop records one dropped flit (head = first flit of its packet).
+func (i *Injector) CountDrop(head bool) {
+	i.stats.DroppedFlits++
+	if head {
+		i.stats.DroppedPackets++
+	}
+}
+
+// NodeFaults is one router's view of the schedule. All methods are
+// deterministic given the engine's fixed module tick order.
+type NodeFaults struct {
+	inj *Injector
+	// Per-port fault lists; a port's slice is nil when unfaulted, and the
+	// lists are tiny (a schedule rarely stacks faults on one port), so
+	// queries are a bounds check plus a short scan.
+	stall  [][]Fault
+	drop   [][]Fault
+	pstall [][]Fault
+	flip   [][]Fault
+}
+
+func anyActive(fs []Fault, cycle int64) bool {
+	for _, f := range fs {
+		if f.active(cycle) {
+			return true
+		}
+	}
+	return false
+}
+
+// LinkStalled reports whether the output link is stalled this cycle, and
+// counts the stalled link-cycle.
+func (nf *NodeFaults) LinkStalled(port int, cycle int64) bool {
+	if port >= len(nf.stall) || !anyActive(nf.stall[port], cycle) {
+		return false
+	}
+	nf.inj.stats.StalledLinkCycles++
+	return true
+}
+
+// LinkDropping reports whether the output link drops packets whose head
+// traverses it this cycle.
+func (nf *NodeFaults) LinkDropping(port int, cycle int64) bool {
+	return port < len(nf.drop) && anyActive(nf.drop[port], cycle)
+}
+
+// PortStalled reports whether the input port is frozen this cycle, and
+// counts the stalled port-cycle.
+func (nf *NodeFaults) PortStalled(port int, cycle int64) bool {
+	if port >= len(nf.pstall) || !anyActive(nf.pstall[port], cycle) {
+		return false
+	}
+	nf.inj.stats.StalledPortCycles++
+	return true
+}
+
+// Corrupt applies any active bit-flip fault on the output link to a flit
+// payload of the given width, mutating it in place. It returns the number
+// of bits flipped (0 when the flit passed clean).
+func (nf *NodeFaults) Corrupt(port int, cycle int64, payload []uint64, widthBits int) int {
+	if port >= len(nf.flip) || len(payload) == 0 || widthBits <= 0 {
+		return 0
+	}
+	flipped := 0
+	for _, f := range nf.flip[port] {
+		if !f.active(cycle) || nf.inj.rng.Float64() >= f.Rate {
+			continue
+		}
+		bit := nf.inj.rng.Intn(widthBits)
+		payload[bit/64] ^= 1 << uint(bit%64)
+		flipped++
+	}
+	if flipped > 0 {
+		nf.inj.stats.FlippedFlits++
+		nf.inj.stats.FlippedBits += int64(flipped)
+	}
+	return flipped
+}
+
+// CountDrop forwards drop accounting to the injector.
+func (nf *NodeFaults) CountDrop(head bool) { nf.inj.CountDrop(head) }
+
+// RandomLinks builds n deterministic link faults of the given kind spread
+// over the links (node, port) pairs passed in, using its own seeded stream
+// (independent of the schedule's corruption stream). links must be
+// non-empty; duplicates are allowed when n exceeds the link count.
+func RandomLinks(seed int64, links [][2]int, n int, kind Kind, start, duration int64, rate float64) ([]Fault, error) {
+	if len(links) == 0 {
+		return nil, fmt.Errorf("fault: no links to fault")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("fault: fault count must be positive, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Sample without replacement while faults remain scarce, with
+	// replacement beyond that.
+	perm := rng.Perm(len(links))
+	faults := make([]Fault, 0, n)
+	for i := 0; i < n; i++ {
+		var l [2]int
+		if i < len(perm) {
+			l = links[perm[i]]
+		} else {
+			l = links[rng.Intn(len(links))]
+		}
+		faults = append(faults, Fault{
+			Kind: kind, Node: l[0], Port: l[1],
+			Start: start, Duration: duration, Rate: rate,
+		})
+	}
+	return faults, nil
+}

@@ -1,0 +1,207 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestFaultActive(t *testing.T) {
+	transient := Fault{Start: 100, Duration: 50}
+	for _, tc := range []struct {
+		cycle int64
+		want  bool
+	}{{0, false}, {99, false}, {100, true}, {149, true}, {150, false}} {
+		if got := transient.active(tc.cycle); got != tc.want {
+			t.Errorf("transient.active(%d) = %v, want %v", tc.cycle, got, tc.want)
+		}
+	}
+	permanent := Fault{Start: 10}
+	if permanent.active(9) || !permanent.active(10) || !permanent.active(1<<40) {
+		t.Error("permanent fault window wrong")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Faults: []Fault{
+		{Kind: LinkStall, Node: 0, Port: 0},
+		{Kind: BitFlip, Node: 15, Port: 3, Rate: 0.5},
+	}}
+	if err := good.Validate(16, 5); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+
+	bad := Config{Faults: []Fault{
+		{Kind: Kind(99), Node: -1, Port: 4, Start: -5}, // 4 problems: kind, node, port (local), start
+		{Kind: BitFlip, Node: 0, Port: 0, Rate: 0},     // rate out of range
+		{Kind: LinkStall, Node: 0, Port: 0, Rate: 0.5}, // rate on non-bit-flip
+		{Kind: LinkDrop, Node: 16, Port: 5, Rate: 0},   // node and port out of range
+	}}
+	err := bad.Validate(16, 5)
+	if err == nil {
+		t.Fatal("invalid schedule accepted")
+	}
+	// Aggregated: every fault index with a problem is named.
+	for _, want := range []string{"Faults[0]", "Faults[1]", "Faults[2]", "Faults[3]"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("aggregated error missing %s: %v", want, err)
+		}
+	}
+}
+
+func TestInjectorQueries(t *testing.T) {
+	cfg := Config{Seed: 7, Faults: []Fault{
+		{Kind: LinkStall, Node: 1, Port: 0, Start: 10, Duration: 5},
+		{Kind: PortStall, Node: 1, Port: 2, Start: 0},
+		{Kind: LinkDrop, Node: 2, Port: 1, Start: 0},
+	}}
+	inj, err := NewInjector(cfg, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.Node(0) != nil || inj.Node(3) != nil {
+		t.Error("unfaulted nodes should have nil views")
+	}
+	nf := inj.Node(1)
+	if nf == nil {
+		t.Fatal("node 1 should have a fault view")
+	}
+	if nf.LinkStalled(0, 9) || !nf.LinkStalled(0, 10) || nf.LinkStalled(0, 15) {
+		t.Error("link stall window wrong")
+	}
+	if nf.LinkStalled(1, 12) {
+		t.Error("unfaulted port reported stalled")
+	}
+	if !nf.PortStalled(2, 0) || nf.PortStalled(0, 0) {
+		t.Error("port stall wrong")
+	}
+	if !inj.Node(2).LinkDropping(1, 1000) || inj.Node(2).LinkDropping(0, 1000) {
+		t.Error("link drop wrong")
+	}
+	// One stalled link-cycle and one stalled port-cycle were counted above.
+	s := inj.Stats()
+	if s.StalledLinkCycles != 1 || s.StalledPortCycles != 1 {
+		t.Errorf("stall counters = %+v, want 1 link and 1 port cycle", s)
+	}
+	if !inj.Fired() {
+		t.Error("Fired should report true after counted stalls")
+	}
+}
+
+func TestCorruptDeterministicAndCounted(t *testing.T) {
+	cfg := Config{Seed: 42, Faults: []Fault{
+		{Kind: BitFlip, Node: 0, Port: 0, Rate: 1}, // every flit hit
+	}}
+	run := func() ([]uint64, Stats) {
+		inj, err := NewInjector(cfg, 1, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := []uint64{0, 0, 0, 0}
+		for cycle := int64(0); cycle < 10; cycle++ {
+			if n := inj.Node(0).Corrupt(0, cycle, payload, 256); n != 1 {
+				t.Fatalf("rate-1 flip hit %d bits, want 1", n)
+			}
+		}
+		return payload, inj.Stats()
+	}
+	p1, s1 := run()
+	p2, s2 := run()
+	if !reflect.DeepEqual(p1, p2) {
+		t.Errorf("same seed produced different corruption: %v vs %v", p1, p2)
+	}
+	if s1 != s2 || s1.FlippedFlits != 10 || s1.FlippedBits != 10 {
+		t.Errorf("flip stats = %+v / %+v, want 10 flits and bits each", s1, s2)
+	}
+	zero := true
+	for _, w := range p1 {
+		if w != 0 {
+			zero = false
+		}
+	}
+	if zero {
+		t.Error("corruption left the payload untouched")
+	}
+}
+
+func TestCorruptRateZeroPort(t *testing.T) {
+	inj, err := NewInjector(Config{Faults: []Fault{
+		{Kind: BitFlip, Node: 0, Port: 1, Rate: 0.5},
+	}}, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []uint64{0}
+	if n := inj.Node(0).Corrupt(0, 0, payload, 64); n != 0 || payload[0] != 0 {
+		t.Error("unfaulted port corrupted a flit")
+	}
+}
+
+func TestDropAccounting(t *testing.T) {
+	inj, err := NewInjector(Config{Faults: []Fault{
+		{Kind: LinkDrop, Node: 0, Port: 0},
+	}}, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf := inj.Node(0)
+	nf.CountDrop(true) // head
+	nf.CountDrop(false)
+	nf.CountDrop(false)
+	s := inj.Stats()
+	if s.DroppedPackets != 1 || s.DroppedFlits != 3 {
+		t.Errorf("drop stats = %+v, want 1 packet / 3 flits", s)
+	}
+}
+
+func TestRandomLinks(t *testing.T) {
+	links := [][2]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 3}}
+	a, err := RandomLinks(9, links, 4, LinkStall, 100, 50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomLinks(9, links, 4, LinkStall, 100, 50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different link picks")
+	}
+	// Without replacement while n <= len(links): all picks distinct.
+	seen := map[[2]int]bool{}
+	for _, f := range a {
+		l := [2]int{f.Node, f.Port}
+		if seen[l] {
+			t.Errorf("duplicate link %v with n < link count", l)
+		}
+		seen[l] = true
+		if f.Kind != LinkStall || f.Start != 100 || f.Duration != 50 {
+			t.Errorf("fault fields not propagated: %+v", f)
+		}
+	}
+	// With replacement beyond the link count: still succeeds.
+	c, err := RandomLinks(9, links, 12, LinkDrop, 0, 0, 0)
+	if err != nil || len(c) != 12 {
+		t.Fatalf("over-subscribed pick failed: %v (%d faults)", err, len(c))
+	}
+	if _, err := RandomLinks(1, nil, 3, LinkStall, 0, 0, 0); err == nil {
+		t.Error("empty link set should fail")
+	}
+	if _, err := RandomLinks(1, links, 0, LinkStall, 0, 0, 0); err == nil {
+		t.Error("zero fault count should fail")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if LinkDrop.String() != "link-drop" || Kind(9).String() != "Kind(9)" {
+		t.Error("kind names wrong")
+	}
+	perm := Fault{Kind: LinkStall, Node: 3, Port: 1}
+	if s := perm.String(); !strings.Contains(s, "link-stall") || !strings.Contains(s, "node 3") {
+		t.Errorf("fault string %q", s)
+	}
+	win := Fault{Kind: BitFlip, Node: 0, Port: 0, Start: 5, Duration: 10, Rate: 0.25}
+	if s := win.String(); !strings.Contains(s, "[5,15)") || !strings.Contains(s, "0.25") {
+		t.Errorf("fault string %q", s)
+	}
+}

@@ -3,6 +3,7 @@ package router
 import (
 	"fmt"
 
+	"orion/internal/fault"
 	"orion/internal/flit"
 	"orion/internal/sim"
 )
@@ -57,6 +58,15 @@ type CBRouter struct {
 
 	govs    []OutputGovernor
 	outFree []int64
+
+	// Fault injection view (nil when this node is fault-free), the
+	// network's dropped-flit observer, and the per-output packet-drop
+	// latch (a packet whose head met a drop window is swallowed whole —
+	// output queues read packets contiguously, so one flag per port
+	// suffices).
+	faults   *fault.NodeFaults
+	onDrop   DropHandler
+	dropping []bool
 }
 
 var _ Router = (*CBRouter)(nil)
@@ -94,6 +104,7 @@ func NewCB(node int, cfg Config, bus *sim.Bus) (*CBRouter, error) {
 		readPick:    make([]picker, cfg.CBReadPorts),
 		govs:        make([]OutputGovernor, cfg.Ports),
 		outFree:     make([]int64, cfg.Ports),
+		dropping:    make([]bool, cfg.Ports),
 	}
 	for i := range r.writePick {
 		r.writePick[i] = picker{n: cfg.Ports}
@@ -110,6 +121,13 @@ func (r *CBRouter) SetGovernor(port int, gov OutputGovernor) error {
 		return fmt.Errorf("router: governor port %d out of range [0,%d)", port, r.cfg.Ports)
 	}
 	r.govs[port] = gov
+	return nil
+}
+
+// SetFaults implements Router.
+func (r *CBRouter) SetFaults(nf *fault.NodeFaults, onDrop DropHandler) error {
+	r.faults = nf
+	r.onDrop = onDrop
 	return nil
 }
 
@@ -219,9 +237,15 @@ func (r *CBRouter) readable(o int, cycle int64) bool {
 func (r *CBRouter) readStage(cycle int64) error {
 	var req uint64
 	for o := 0; o < r.cfg.Ports; o++ {
-		if r.readable(o, cycle) {
-			req |= 1 << uint(o)
+		if !r.readable(o, cycle) {
+			continue
 		}
+		// Stall gate after the readability check, so stalled link-cycles
+		// are counted only when traffic actually wanted the link.
+		if r.faults != nil && r.faults.LinkStalled(o, cycle) {
+			continue
+		}
+		req |= 1 << uint(o)
 	}
 	for rp := 0; rp < r.cfg.CBReadPorts && req != 0; rp++ {
 		o := r.readPick[rp].pick(req)
@@ -247,12 +271,43 @@ func (r *CBRouter) readStage(cycle int64) error {
 
 		f := e.f
 		f.VC = 0
+		if r.faults != nil && o != r.cfg.Ports-1 &&
+			f.Kind.IsHead() && r.faults.LinkDropping(o, cycle) {
+			r.dropping[o] = true
+		}
+		if r.dropping[o] {
+			// The faulted link swallows the flit: return the spent
+			// downstream credit and hand the flit to drop accounting
+			// instead of the wire. Tails retire the packet record as a
+			// delivered tail would.
+			if !r.outInfinite[o] {
+				r.outCredits[o]++
+			}
+			r.faults.CountDrop(f.Kind.IsHead())
+			if r.onDrop != nil {
+				r.onDrop(f, cycle)
+			}
+			if f.Kind.IsTail() {
+				r.dropping[o] = false
+				if !pkt.complete || pkt.entries.len() != 0 {
+					return fmt.Errorf("cb router %d: tail read from incomplete packet record", r.node)
+				}
+				r.outQ[o].pop()
+			}
+			continue
+		}
 		if o != r.cfg.Ports-1 { // not the ejection port
 			f.Hop++
 			r.bus.Publish(sim.Event{
 				Type: sim.EvLinkTraversal, Cycle: cycle, Node: r.node,
 				Port: o, Data: f.Payload,
 			})
+			if r.faults != nil {
+				// Corrupt after the link event (the sender drives the
+				// original bits) so only downstream activity sees the
+				// flipped payload.
+				r.faults.Corrupt(o, cycle, f.Payload, r.cfg.FlitBits)
+			}
 			if gov := r.govs[o]; gov != nil {
 				gov.OnSend(cycle)
 				r.outFree[o] = cycle + gov.SendPeriod(cycle)
@@ -280,9 +335,15 @@ func (r *CBRouter) readStage(cycle int64) error {
 func (r *CBRouter) writeStage(cycle int64) error {
 	var req uint64
 	for p := 0; p < r.cfg.Ports; p++ {
-		if r.writable(p) {
-			req |= 1 << uint(p)
+		if !r.writable(p) {
+			continue
 		}
+		// PortStall freezes the input port: its buffered flits stop
+		// bidding for central-buffer write ports during the window.
+		if r.faults != nil && r.faults.PortStalled(p, cycle) {
+			continue
+		}
+		req |= 1 << uint(p)
 	}
 	for wp := 0; wp < r.cfg.CBWritePorts && req != 0; wp++ {
 		p := r.writePick[wp].pick(req)

@@ -150,6 +150,14 @@ func NewSink(node int, data *sim.Wire[*flit.Flit], record SinkRecord) (*Sink, er
 // Name implements sim.Module.
 func (s *Sink) Name() string { return s.name }
 
+// Record returns the sink's ejection callback and SetRecord replaces it —
+// a seam for tests that wrap delivery accounting (e.g. seeding a
+// double-delivery bug to prove the invariant checker catches it).
+func (s *Sink) Record() SinkRecord { return s.record }
+
+// SetRecord replaces the sink's ejection callback.
+func (s *Sink) SetRecord(r SinkRecord) { s.record = r }
+
 // Tick implements sim.Module.
 func (s *Sink) Tick(cycle int64) error {
 	f, ok := s.data.Take()

@@ -3,6 +3,7 @@ package router
 import (
 	"fmt"
 
+	"orion/internal/fault"
 	"orion/internal/flit"
 	"orion/internal/sim"
 )
@@ -21,9 +22,17 @@ type Router interface {
 	AttachOutput(port int, data *sim.Wire[*flit.Flit], credit *sim.Wire[flit.Credit], downstreamCredits int, infinite bool) error
 	// SetGovernor throttles an output port's bandwidth (nil for none).
 	SetGovernor(port int, gov OutputGovernor) error
+	// SetFaults attaches this node's fault-injection view (nil for a
+	// fault-free router) and the handler invoked for each flit a LinkDrop
+	// fault discards, so the network can keep conservation accounting.
+	SetFaults(nf *fault.NodeFaults, onDrop DropHandler) error
 	// Config returns the router's configuration.
 	Config() Config
 }
+
+// DropHandler observes flits discarded by fault injection, in drop order
+// (head first, tail last — drops are packet-granular).
+type DropHandler func(f *flit.Flit, cycle int64)
 
 // OutputGovernor throttles an output link's bandwidth, e.g. a dynamic
 // voltage scaling controller whose lower operating points send fewer flits
@@ -58,6 +67,10 @@ type outputVC struct {
 	infinite  bool
 	ownerPort int
 	ownerVC   int
+	// dropping marks a packet being swallowed by a LinkDrop fault: the
+	// head met an active drop window, so every flit through this output
+	// VC is discarded (with credit and ring undo) until the tail.
+	dropping bool
 }
 
 type grant struct {
@@ -101,6 +114,12 @@ type XBRouter struct {
 	// next cycle each output may send.
 	govs    []OutputGovernor
 	outFree []int64
+
+	// Fault injection view (nil for fault-free routers — the hot path
+	// then pays one nil check per allocation stage) and the network's
+	// dropped-flit observer.
+	faults *fault.NodeFaults
+	onDrop DropHandler
 }
 
 var _ Router = (*XBRouter)(nil)
@@ -180,6 +199,13 @@ func (r *XBRouter) SetGovernor(port int, gov OutputGovernor) error {
 		return fmt.Errorf("router: governor port %d out of range [0,%d)", port, r.cfg.Ports)
 	}
 	r.govs[port] = gov
+	return nil
+}
+
+// SetFaults implements Router.
+func (r *XBRouter) SetFaults(nf *fault.NodeFaults, onDrop DropHandler) error {
+	r.faults = nf
+	r.onDrop = onDrop
 	return nil
 }
 
@@ -355,12 +381,50 @@ func (r *XBRouter) switchTraversal(cycle int64) error {
 		}
 
 		f.VC = g.outVC
+		ovc := &r.out[g.outPort][g.outVC]
+		if r.faults != nil && !r.isEjection(g.outPort) &&
+			f.Kind.IsHead() && r.faults.LinkDropping(g.outPort, cycle) {
+			ovc.dropping = true
+		}
+		if ovc.dropping {
+			// The faulted link swallows the flit: undo the credit the
+			// switch allocator spent (the flit never occupies a
+			// downstream slot) and release its committed ring slot, then
+			// hand it to the network's drop accounting instead of the
+			// wire. Tails close the packet and free the channel exactly
+			// as a delivered tail would.
+			if !ovc.infinite {
+				ovc.credits++
+			}
+			if ref := r.outRings[g.outPort][g.outVC]; ref != nil {
+				ref.ring.Add(ref.idx, -1)
+			}
+			r.faults.CountDrop(f.Kind.IsHead())
+			if r.onDrop != nil {
+				r.onDrop(f, cycle)
+			}
+			if f.Kind.IsTail() {
+				ovc.dropping = false
+				ovc.free = true
+				ivc.state = vcIdle
+				if err := r.refresh(g.inPort, g.inVC); err != nil {
+					return err
+				}
+			}
+			continue
+		}
 		if !r.isEjection(g.outPort) {
 			f.Hop++
 			r.bus.Publish(sim.Event{
 				Type: sim.EvLinkTraversal, Cycle: cycle, Node: r.node,
 				Port: g.outPort, Data: f.Payload,
 			})
+			if r.faults != nil {
+				// Corrupt after the link event (the sender drives the
+				// original bits) so only downstream activity — buffer
+				// writes onward — sees the flipped payload.
+				r.faults.Corrupt(g.outPort, cycle, f.Payload, r.cfg.FlitBits)
+			}
 			if gov := r.govs[g.outPort]; gov != nil {
 				gov.OnSend(cycle)
 				r.outFree[g.outPort] = cycle + gov.SendPeriod(cycle)
@@ -375,7 +439,6 @@ func (r *XBRouter) switchTraversal(cycle int64) error {
 		}
 
 		if f.Kind.IsTail() {
-			ovc := &r.out[g.outPort][g.outVC]
 			ovc.free = true
 			ivc.state = vcIdle
 			if err := r.refresh(g.inPort, g.inVC); err != nil {
@@ -442,6 +505,9 @@ func (r *XBRouter) switchAllocation(cycle int64) error {
 		if req == 0 {
 			continue
 		}
+		if r.faults != nil && r.faults.PortStalled(p, cycle) {
+			continue // input port frozen by an active PortStall fault
+		}
 		if r.cfg.VCs == 1 {
 			// A single queue needs no input-stage arbiter (the
 			// wormhole router's arbiters are the 4:1 output
@@ -472,6 +538,12 @@ func (r *XBRouter) switchAllocation(cycle int64) error {
 			}
 		}
 		if req == 0 {
+			continue
+		}
+		// Grants traverse next cycle, so gate on the stall window at the
+		// traversal cycle; counted only when traffic actually wanted the
+		// link.
+		if r.faults != nil && r.faults.LinkStalled(o, cycle+1) {
 			continue
 		}
 		slot := r.saOut[o].pick(req)

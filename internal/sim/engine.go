@@ -54,10 +54,13 @@ func (e *Engine) Connect(w Latchable) {
 }
 
 // Step executes one cycle: every module ticks, then every wire latches.
+// A module panic is recovered into an error naming the module and cycle,
+// so one corrupted module aborts the run with a diagnostic instead of
+// tearing down the process (or a whole parameter sweep).
 func (e *Engine) Step() error {
 	for _, m := range e.modules {
-		if err := m.Tick(e.cycle); err != nil {
-			return fmt.Errorf("sim: cycle %d: module %s: %w", e.cycle, m.Name(), err)
+		if err := e.tickModule(m); err != nil {
+			return err
 		}
 	}
 	var errs []error
@@ -68,6 +71,19 @@ func (e *Engine) Step() error {
 	}
 	e.cycle++
 	return errors.Join(errs...)
+}
+
+// tickModule runs one module's Tick with panic recovery.
+func (e *Engine) tickModule(m Module) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sim: cycle %d: module %s: panic: %v", e.cycle, m.Name(), r)
+		}
+	}()
+	if err := m.Tick(e.cycle); err != nil {
+		return fmt.Errorf("sim: cycle %d: module %s: %w", e.cycle, m.Name(), err)
+	}
+	return nil
 }
 
 // Run executes n cycles, stopping at the first error.

@@ -1,0 +1,33 @@
+package traffic
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseTrace feeds arbitrary bytes to the trace reader: it must either
+// reject the input or return records that honour its documented contract
+// (non-negative fields, cycle-sorted).
+func FuzzParseTrace(f *testing.F) {
+	f.Add([]byte("0 0 1\n5 2 3\n"))
+	f.Add([]byte("# comment\n\n 10 1 0 \n"))
+	f.Add([]byte("3 1 2\n1 0 3\n1 2 0\n")) // out of order, equal cycles
+	f.Add([]byte("nonsense"))
+	f.Add([]byte("-1 0 0"))
+	f.Add([]byte("99999999999999999999999 0 0")) // overflows int64
+	f.Add([]byte("1 2"))                         // short line
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := ParseTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i, rec := range recs {
+			if rec.Cycle < 0 || rec.Src < 0 || rec.Dst < 0 {
+				t.Fatalf("record %d has a negative field: %+v", i, rec)
+			}
+			if i > 0 && rec.Cycle < recs[i-1].Cycle {
+				t.Fatalf("records not cycle-sorted: %+v before %+v", recs[i-1], rec)
+			}
+		}
+	})
+}

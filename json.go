@@ -162,12 +162,58 @@ func (m *DeadlockMode) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
-// LoadConfigJSON parses a Config from JSON. Enum fields accept their
-// string names ("wormhole", "broadcast", "bubble", ...).
+var faultKindNames = map[string]int{
+	"link-stall": int(FaultLinkStall),
+	"link-drop":  int(FaultLinkDrop),
+	"port-stall": int(FaultPortStall),
+	"bit-flip":   int(FaultBitFlip),
+	"bitflip":    int(FaultBitFlip),
+}
+
+// MarshalJSON implements json.Marshaler.
+func (k FaultKind) MarshalJSON() ([]byte, error) { return marshalEnum(k.String()) }
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (k *FaultKind) UnmarshalJSON(data []byte) error {
+	v, err := unmarshalEnum(data, "fault kind", faultKindNames)
+	if err != nil {
+		return err
+	}
+	*k = FaultKind(v)
+	return nil
+}
+
+var invariantModeNames = map[string]int{
+	"auto": int(InvariantAuto),
+	"on":   int(InvariantOn),
+	"off":  int(InvariantOff),
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m InvariantMode) MarshalJSON() ([]byte, error) { return marshalEnum(m.String()) }
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *InvariantMode) UnmarshalJSON(data []byte) error {
+	v, err := unmarshalEnum(data, "invariant mode", invariantModeNames)
+	if err != nil {
+		return err
+	}
+	*m = InvariantMode(v)
+	return nil
+}
+
+// LoadConfigJSON parses and validates a Config from JSON. Enum fields
+// accept their string names ("wormhole", "broadcast", "bubble",
+// "link-stall", ...). The returned configuration has passed
+// Config.Validate, so structural mistakes in a config file surface here —
+// aggregated, with field-qualified messages — not mid-sweep.
 func LoadConfigJSON(data []byte) (Config, error) {
 	var cfg Config
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		return Config{}, fmt.Errorf("orion: parsing config: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
 	}
 	return cfg, nil
 }

@@ -79,8 +79,24 @@ func TestLoadConfigJSONErrors(t *testing.T) {
 	if _, err := LoadConfigJSON([]byte(`{"Sim": {"Deadlock": "prayer"}}`)); err == nil {
 		t.Error("unknown deadlock mode should fail")
 	}
+	// A structurally invalid config now fails at load time, with every
+	// problem reported at once under field-qualified prefixes.
+	_, err := LoadConfigJSON([]byte(`{"Width": -1, "Height": 4, "Traffic": {"Rate": 2}}`))
+	if err == nil {
+		t.Fatal("invalid config should fail validation at load")
+	}
+	for _, want := range []string{"Width/Height", "Traffic.Rate"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("validation error missing %q: %v", want, err)
+		}
+	}
 	// Integer enum values stay accepted.
-	cfg, err := LoadConfigJSON([]byte(`{"Router": {"Kind": 1}}`))
+	cfg, err := LoadConfigJSON([]byte(`{
+	  "Width": 4, "Height": 4,
+	  "Router": {"Kind": 1, "BufferDepth": 64, "FlitBits": 256},
+	  "Link": {"LengthMm": 3},
+	  "Traffic": {"Pattern": {"Kind": "uniform"}, "Rate": 0.05, "PacketLength": 5}
+	}`))
 	if err != nil {
 		t.Fatalf("integer enum rejected: %v", err)
 	}

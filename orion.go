@@ -24,7 +24,10 @@
 // DESIGN.md / EXPERIMENTS.md for the mapping to the paper's experiments.
 package orion
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // RouterKind selects a router microarchitecture.
 type RouterKind int
@@ -219,6 +222,15 @@ type SimConfig struct {
 	// two paths are observably identical (the golden tests assert bit
 	// equality); this is a testing/diagnostics hook, not a tuning knob.
 	ReferenceEventPath bool
+	// ProgressWindowCycles aborts a run with ErrDeadlock when no flit is
+	// delivered for this many cycles while sample packets are outstanding
+	// (default 50,000).
+	ProgressWindowCycles int64
+	// PointTimeout bounds each sweep point's wall-clock time: Sweep and
+	// SweepContext cancel a point's run after this long, recording a
+	// context.DeadlineExceeded for that rate while the rest of the curve
+	// completes. Zero means no per-point deadline.
+	PointTimeout time.Duration
 }
 
 // DeadlockMode selects how dimension-ordered routing on a torus is kept
@@ -275,4 +287,14 @@ type Config struct {
 	Traffic TrafficConfig
 	// Sim tunes the measurement protocol.
 	Sim SimConfig
+	// Faults, when set, injects a deterministic seeded fault schedule —
+	// link stalls and drops, router port stalls, payload bit-flips — so
+	// degraded-network latency/power curves are a first-class workload.
+	// See FaultsConfig and RandomLinkFaults; effects are reported in
+	// Result.Faults.
+	Faults *FaultsConfig
+	// CheckInvariants controls the runtime invariant checker. The
+	// default (InvariantAuto) turns it on under `go test` and off
+	// otherwise; see InvariantMode.
+	CheckInvariants InvariantMode
 }

@@ -1,6 +1,7 @@
 package orion
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -80,6 +81,14 @@ type Result struct {
 	// PowerProfileW is the power-vs-time series sampled every
 	// SimConfig.ProfileWindowCycles (empty unless requested).
 	PowerProfileW []float64
+
+	// DroppedFlits counts flits discarded by link-drop faults during
+	// measurement; DroppedSamplePackets counts sample packets among them
+	// (those packets are excluded from the latency statistics).
+	DroppedFlits, DroppedSamplePackets int64
+	// Faults reports the observable effects of the injected fault
+	// schedule (zero unless Config.Faults was set).
+	Faults FaultStats
 
 	// OfferedRate echoes the injection rate that produced this result,
 	// convenient when sweeping.
@@ -308,8 +317,11 @@ func resolve(cfg Config) (core.Config, error) {
 		WarmupCycles:   cfg.Sim.WarmupCycles,
 		SamplePackets:  cfg.Sim.SamplePackets,
 		MaxCycles:      cfg.Sim.MaxCycles,
+		ProgressWindow: cfg.Sim.ProgressWindowCycles,
 
 		ReferenceEventPath: cfg.Sim.ReferenceEventPath,
+		Faults:             cfg.Faults.toInternal(),
+		CheckInvariants:    cfg.CheckInvariants.enabled(),
 	}
 	return out, nil
 }
@@ -367,18 +379,37 @@ func fromCore(r *core.Result, rate float64) *Result {
 			CentralBufferWrites: r.EventCounts[sim.EvCentralBufWrite],
 			CentralBufferReads:  r.EventCounts[sim.EvCentralBufRead],
 		},
-		PowerProfileW: r.PowerProfileW,
-		OfferedRate:   rate,
+		PowerProfileW:        r.PowerProfileW,
+		DroppedFlits:         r.DroppedFlits,
+		DroppedSamplePackets: r.DroppedSamplePackets,
+		Faults:               faultStatsFromInternal(r.FaultStats),
+		OfferedRate:          rate,
 	}
 }
 
-// Run builds and executes one simulation.
+// Run builds and executes one simulation. Failures wrap the package's
+// sentinel errors (ErrSaturated, ErrDeadlock, ErrInvariant, ErrFaulted)
+// for errors.Is classification.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation: the simulation polls ctx between
+// cycles and aborts with an error wrapping ctx.Err() once the context is
+// done. A context without cancellation costs nothing on the hot path.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	ccfg, err := resolve(cfg)
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.RunConfig(ccfg)
+	n, err := core.Build(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := n.RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -403,6 +434,9 @@ func RunTrace(cfg Config, trace io.Reader) (*Result, error) {
 	}
 	cfg.Traffic.Pattern = Uniform()
 	cfg.Traffic.Rate = 0
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	ccfg, err := resolve(cfg)
 	if err != nil {
 		return nil, err
@@ -436,9 +470,20 @@ func ZeroLoadLatency(cfg Config) (float64, error) {
 // bounded worker pool (runtime.NumCPU() workers, so a thousand-point sweep
 // spawns a dozen goroutines, not a thousand) and returns results in rate
 // order. Rates that fail (e.g. deep saturation hitting MaxCycles) yield a
-// nil entry and the error of the earliest failing rate is returned
-// alongside the partial results.
+// nil entry; when any rate fails the partial results are returned together
+// with a *SweepError aggregating the typed per-point errors, so one
+// saturating point never discards the rest of the curve.
 func Sweep(cfg Config, rates []float64) ([]*Result, error) {
+	return SweepContext(context.Background(), cfg, rates)
+}
+
+// SweepContext is Sweep with cancellation and per-point deadlines.
+// Cancelling ctx aborts every in-flight point with an error wrapping
+// ctx.Err(); SimConfig.PointTimeout additionally bounds each point's
+// wall-clock time. A worker that panics (a simulator bug) records the
+// panic as that point's error instead of tearing down the process, so a
+// sweep always returns its partial results.
+func SweepContext(ctx context.Context, cfg Config, rates []float64) ([]*Result, error) {
 	results := make([]*Result, len(rates))
 	errs := make([]error, len(rates))
 
@@ -453,9 +498,7 @@ func Sweep(cfg Config, rates []float64) ([]*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				c := cfg
-				c.Traffic.Rate = rates[i]
-				results[i], errs[i] = Run(c)
+				results[i], errs[i] = runPoint(ctx, cfg, rates[i])
 			}
 		}()
 	}
@@ -465,12 +508,37 @@ func Sweep(cfg Config, rates []float64) ([]*Result, error) {
 	close(idx)
 	wg.Wait()
 
-	for _, err := range errs {
+	var serr *SweepError
+	for i, err := range errs {
 		if err != nil {
-			return results, err
+			if serr == nil {
+				serr = &SweepError{}
+			}
+			serr.Rates = append(serr.Rates, rates[i])
+			serr.Errs = append(serr.Errs, err)
 		}
 	}
+	if serr != nil {
+		return results, serr
+	}
 	return results, nil
+}
+
+// runPoint runs one sweep point, converting panics to errors and applying
+// the per-point deadline.
+func runPoint(ctx context.Context, cfg Config, rate float64) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("orion: sweep point rate %g panicked: %v", rate, r)
+		}
+	}()
+	if cfg.Sim.PointTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Sim.PointTimeout)
+		defer cancel()
+	}
+	cfg.Traffic.Rate = rate
+	return RunContext(ctx, cfg)
 }
 
 // SaturationThroughput sweeps the injection rates and returns the lowest
