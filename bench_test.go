@@ -8,7 +8,10 @@ package orion
 // paper's axes. EXPERIMENTS.md records the full-protocol numbers produced
 // by cmd/orion-exp.
 
-import "testing"
+import (
+	"path/filepath"
+	"testing"
+)
 
 // benchSamples keeps per-iteration cost moderate; shapes are stable from a
 // few thousand packets (the full protocol uses 10,000 — see cmd/orion-exp).
@@ -246,6 +249,37 @@ func BenchmarkSimulatorSpeed(b *testing.B) {
 	}
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
 }
+
+// --- Checkpointing overhead ---
+
+// benchSnapshot runs the Figure-5 VC64 configuration through the Sim API,
+// optionally writing a periodic snapshot, so the two benchmarks below
+// bound checkpointing's cost: BenchmarkRunNoSnapshot is the baseline (and
+// must match plain Run — the disabled hook is one integer compare per
+// cycle), BenchmarkRunSnapshotEvery1k pays a full capture + atomic file
+// write per 1000 cycles.
+func benchSnapshot(b *testing.B, every int64) {
+	cfg := OnChip4x4(VC64(), 0.10)
+	cfg.Sim.SamplePackets = benchSamples
+	cfg.CheckInvariants = InvariantOff
+	path := filepath.Join(b.TempDir(), "bench.orsn")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := NewSim(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if every > 0 {
+			s.SetSnapshotFile(path, every)
+		}
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunNoSnapshot(b *testing.B)      { benchSnapshot(b, 0) }
+func BenchmarkRunSnapshotEvery1k(b *testing.B) { benchSnapshot(b, 1000) }
 
 // --- Component model micro-benchmarks ---
 

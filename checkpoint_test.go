@@ -1,0 +1,286 @@
+package orion
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+// faultyFastConfig is fastConfig with an active deterministic fault
+// schedule, so checkpoint tests cover the fault injector's RNG stream and
+// effect counters too.
+func faultyFastConfig(rate float64) Config {
+	cfg := fastConfig(rate)
+	cfg.Faults = &FaultsConfig{
+		Seed: 11,
+		Faults: []Fault{
+			{Kind: FaultLinkStall, Node: 1, Port: 1, Start: 250, Duration: 400},
+			{Kind: FaultBitFlip, Node: 6, Port: 2, Start: 0, Rate: 0.05},
+		},
+	}
+	return cfg
+}
+
+// TestStateHashRoundTrip snapshots a run mid-flight, resumes it from the
+// snapshot, and requires the resumed simulation's StateHash to equal the
+// original's at the same cycle — the restore acceptance invariant.
+func TestStateHashRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"clean", fastConfig(0.08)},
+		{"faulted", faultyFastConfig(0.08)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx := context.Background()
+			orig, err := NewSim(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			done, err := orig.StepTo(ctx, 350)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if done {
+				t.Fatal("run completed before cycle 350; pick an earlier snapshot point")
+			}
+			wantHash, err := orig.StateHash()
+			if err != nil {
+				t.Fatal(err)
+			}
+			snapshot, err := orig.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			resumed, err := Resume(ctx, tc.cfg, snapshot)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resumed.Cycle() != 350 {
+				t.Fatalf("resumed at cycle %d, want 350", resumed.Cycle())
+			}
+			gotHash, err := resumed.StateHash()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotHash != wantHash {
+				t.Fatalf("state hash does not round-trip: got %#x, want %#x", gotHash, wantHash)
+			}
+		})
+	}
+}
+
+// TestKillAndResumeGolden is the end-to-end checkpoint guarantee: a run
+// snapshotted to disk mid-flight and finished by a fresh process-alike
+// (new Sim, LoadSnapshotFile, Resume) must produce a Result bit-identical
+// to an uninterrupted run — including under an active fault schedule.
+func TestKillAndResumeGolden(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"clean", fastConfig(0.10)},
+		{"faulted", faultyFastConfig(0.10)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx := context.Background()
+			uninterrupted, err := Run(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// First life: advance past warm-up into measurement, write a
+			// snapshot, and "crash" (drop the Sim).
+			path := filepath.Join(t.TempDir(), "mid.orsn")
+			first, err := NewSim(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			done, err := first.StepTo(ctx, 350)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if done {
+				t.Fatal("run completed before cycle 350; pick an earlier snapshot point")
+			}
+			if err := first.SaveSnapshot(path); err != nil {
+				t.Fatal(err)
+			}
+
+			// Second life: load, resume, finish.
+			snapshot, err := LoadSnapshotFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if snapshot.Cycle != 350 {
+				t.Fatalf("snapshot records cycle %d, want 350", snapshot.Cycle)
+			}
+			resumed, err := Resume(ctx, tc.cfg, snapshot)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := resumed.RunContext(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			fa, fb := fingerprint(uninterrupted), fingerprint(res)
+			if fa != fb {
+				t.Errorf("resumed run differs from uninterrupted run:\n  uninterrupted: %+v\n  resumed:       %+v", fa, fb)
+			}
+			if res.Faults != uninterrupted.Faults {
+				t.Errorf("fault stats differ: %+v vs %+v", res.Faults, uninterrupted.Faults)
+			}
+		})
+	}
+}
+
+// TestPeriodicSnapshotPreservesResult runs with the periodic snapshot
+// hook enabled and requires the Result to stay bit-identical to a run
+// without it — capture must read, never mutate.
+func TestPeriodicSnapshotPreservesResult(t *testing.T) {
+	cfg := fastConfig(0.10)
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "periodic.orsn")
+	s.SetSnapshotFile(path, 200)
+	snapped, err := s.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa, fb := fingerprint(plain), fingerprint(snapped); fa != fb {
+		t.Errorf("periodic snapshotting changed the result:\n  plain:   %+v\n  snapped: %+v", fa, fb)
+	}
+	if _, err := LoadSnapshotFile(path); err != nil {
+		t.Fatalf("periodic snapshot unreadable: %v", err)
+	}
+}
+
+// TestResumeRejectsDigestMismatch resumes a snapshot under a different
+// configuration and requires a typed ErrSnapshot rejection.
+func TestResumeRejectsDigestMismatch(t *testing.T) {
+	ctx := context.Background()
+	cfg := fastConfig(0.08)
+	s, err := NewSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.StepTo(ctx, 300); err != nil {
+		t.Fatal(err)
+	}
+	snapshot, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := cfg
+	other.Traffic.Seed++
+	if _, err := Resume(ctx, other, snapshot); !errors.Is(err, ErrSnapshot) {
+		t.Fatalf("resume under a different config: got %v, want ErrSnapshot", err)
+	}
+}
+
+// TestResumeDetectsDivergence forges a snapshot section and requires the
+// replay self-check to fail with a *DivergenceError naming it.
+func TestResumeDetectsDivergence(t *testing.T) {
+	ctx := context.Background()
+	cfg := fastConfig(0.08)
+	s, err := NewSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.StepTo(ctx, 300); err != nil {
+		t.Fatal(err)
+	}
+	snapshot, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range snapshot.Sections {
+		if snapshot.Sections[i].Name == "sinks" && len(snapshot.Sections[i].Data) > 0 {
+			snapshot.Sections[i].Data[0] ^= 0xff
+		}
+	}
+	_, err = Resume(ctx, cfg, snapshot)
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("forged snapshot: got %v, want ErrDiverged", err)
+	}
+	var de *DivergenceError
+	if !errors.As(err, &de) {
+		t.Fatalf("divergence error is not a *DivergenceError: %v", err)
+	}
+	if de.Cycle != 300 {
+		t.Errorf("divergence cycle %d, want 300", de.Cycle)
+	}
+}
+
+// TestLoadSnapshotTyped requires damaged snapshot bytes to fail with the
+// typed sentinels, never a panic.
+func TestLoadSnapshotTyped(t *testing.T) {
+	s, err := NewSim(fastConfig(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := snapshot.Encode()
+	if _, err := LoadSnapshot(good); err != nil {
+		t.Fatalf("round-trip failed: %v", err)
+	}
+	bad := append([]byte(nil), good...)
+	bad[len(bad)/2] ^= 0x40
+	_, err = LoadSnapshot(bad)
+	if !errors.Is(err, ErrSnapshot) || !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("damaged snapshot: got %v, want ErrSnapshot+ErrSnapshotCorrupt", err)
+	}
+	if _, err := LoadSnapshot(good[:10]); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("truncated snapshot: got %v, want ErrSnapshotCorrupt", err)
+	}
+}
+
+// TestSnapshotDisabledZeroAllocSteadyState pins the cost of the snapshot
+// hook when disabled (the default): the per-cycle check must add zero
+// allocations to the steady-state run loop. Zero-rate traffic makes the
+// loop's own allocation profile empty, so any allocation here is the
+// hook's.
+func TestSnapshotDisabledZeroAllocSteadyState(t *testing.T) {
+	cfg := fastConfig(0)
+	cfg.CheckInvariants = InvariantOff
+	s, err := NewSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Cross the warm-up transition before measuring.
+	if _, err := s.StepTo(ctx, 400); err != nil {
+		t.Fatal(err)
+	}
+	next := s.Cycle()
+	allocs := testing.AllocsPerRun(50, func() {
+		next += 20
+		if _, err := s.StepTo(ctx, next); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state loop with snapshotting disabled allocates %.1f times per 20 cycles, want 0", allocs)
+	}
+}
+
+// TestVerifyEventPath exercises the lockstep fast-vs-reference divergence
+// self-check end to end.
+func TestVerifyEventPath(t *testing.T) {
+	if err := VerifyEventPath(context.Background(), fastConfig(0.08), 150, 0); err != nil {
+		t.Fatalf("self-check failed on a healthy build: %v", err)
+	}
+}

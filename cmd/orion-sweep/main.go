@@ -11,6 +11,14 @@
 //	# Custom sweep:
 //	orion-sweep -router wormhole -depth 64 -flits 256 \
 //	            -rates 0.02,0.06,0.10,0.14,0.18
+//
+//	# Crash-safe sweep: journal each completed point, resume after a kill:
+//	orion-sweep -preset vc64 -journal sweep.jsonl -resume -csv curve.csv
+//
+// SIGINT/SIGTERM cancel the in-flight points, flush the journal and
+// partial results (table and CSV), and exit with status 128+signal.
+// A journaled sweep restarted with -resume skips every point the journal
+// already records as completed.
 package main
 
 import (
@@ -20,8 +28,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"orion"
 	"orion/internal/prof"
@@ -50,6 +60,10 @@ var (
 	faultSeed  = flag.Int64("fault-seed", 1, "fault schedule seed")
 	invariants = flag.String("invariants", "auto", "runtime invariant checker: auto, on, off")
 	pointTmo   = flag.Duration("point-timeout", 0, "per-point wall-clock deadline (0 = none), e.g. 30s")
+
+	journalPath = flag.String("journal", "", "write-ahead results journal (JSON lines), fsynced per completed point")
+	resumeJrnl  = flag.Bool("resume", false, "resume from an existing -journal, skipping completed points")
+	retries     = flag.Int("retries", 1, "retries per transiently-failed point (journaled sweeps; panic or point timeout only)")
 )
 
 func fail(format string, args ...any) {
@@ -76,6 +90,13 @@ func presetConfig(name string) (orion.Config, bool) {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main's body, returning the process exit status so deferred
+// cleanup (profile flush, journal close) still happens before os.Exit.
+// Interrupted sweeps exit 128+signal after flushing partial results.
+func run() (status int) {
 	flag.Parse()
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -84,7 +105,9 @@ func main() {
 	defer func() {
 		if err := stopProf(); err != nil {
 			fmt.Fprintf(os.Stderr, "orion-sweep: %v\n", err)
-			os.Exit(1)
+			if status == 0 {
+				status = 1
+			}
 		}
 	}()
 
@@ -167,7 +190,44 @@ func main() {
 	}
 	fmt.Printf("zero-load latency: %.2f cycles\n", zl)
 
-	results, sweepErr := orion.Sweep(cfg, rates)
+	// SIGINT/SIGTERM cancel the sweep context; in-flight points abort,
+	// the journal keeps every already-completed point, and the partial
+	// table and CSV below still print before the 128+signal exit.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	caught := make(chan os.Signal, 1)
+	go func() {
+		s, ok := <-sigCh
+		if !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "orion-sweep: %v: cancelling in-flight points, flushing partial results\n", s)
+		caught <- s
+		cancel()
+	}()
+
+	var results []*orion.Result
+	var sweepErr error
+	if *journalPath != "" {
+		cfg.Sim.PointRetries = *retries
+		if *resumeJrnl {
+			if n, jerr := orion.JournalPoints(*journalPath); jerr != nil {
+				fail("%v", jerr)
+			} else if n > 0 {
+				fmt.Printf("journal: resuming %s, %d points already recorded\n", *journalPath, n)
+			}
+		}
+		results, sweepErr = orion.SweepJournaledContext(ctx, cfg, rates,
+			orion.SweepJournalOptions{Path: *journalPath, Resume: *resumeJrnl})
+	} else {
+		results, sweepErr = orion.SweepContext(ctx, cfg, rates)
+	}
+	if results == nil && sweepErr != nil {
+		fail("%v", sweepErr)
+	}
 	pointErrs := make(map[int]error)
 	var serr *orion.SweepError
 	if errors.As(sweepErr, &serr) {
@@ -211,6 +271,16 @@ func main() {
 		}
 		fmt.Printf("curve written to %s\n", *csvOut)
 	}
+
+	select {
+	case s := <-caught:
+		if ss, ok := s.(syscall.Signal); ok {
+			return 128 + int(ss)
+		}
+		return 1
+	default:
+	}
+	return 0
 }
 
 // classify renders a failed point's error as a short cause tag using the

@@ -20,12 +20,23 @@
 //
 //	# Replay a communication trace:
 //	orion -router vc -vcs 2 -depth 8 -flits 64 -trace workload.txt
+//
+//	# Long run with periodic crash-safe snapshots, resumable after a kill:
+//	orion -rate 0.1 -snapshot run.orsn -snapshot-every 5000
+//	orion -rate 0.1 -snapshot run.orsn -resume
+//
+// SIGINT/SIGTERM stop the simulation, write a final snapshot when
+// -snapshot is set, and exit with status 128+signal.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"orion"
 )
@@ -81,6 +92,12 @@ var (
 	faultDur   = flag.Int64("fault-duration", 0, "fault window in cycles (0 = permanent)")
 	faultRate  = flag.Float64("fault-rate", 0.01, "per-flit corruption probability of bit-flip faults")
 	invariants = flag.String("invariants", "auto", "runtime invariant checker: auto, on, off")
+
+	snapPath   = flag.String("snapshot", "", "periodic checksummed state snapshot file (atomic rewrite; resume with -resume)")
+	snapEvery  = flag.Int64("snapshot-every", 10000, "cycles between periodic snapshots (with -snapshot)")
+	resumeSnap = flag.Bool("resume", false, "resume from the -snapshot file via verified deterministic replay")
+	selfCheck  = flag.Int64("selfcheck", 0,
+		"divergence self-check: run the fast and reference event paths in lockstep, comparing state hashes every N cycles, then exit")
 )
 
 func fail(format string, args ...any) {
@@ -158,6 +175,10 @@ func buildConfig() orion.Config {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	flag.Parse()
 	var cfg orion.Config
 	if *configPath != "" {
@@ -182,24 +203,86 @@ func main() {
 			fail("%v", err)
 		}
 		fmt.Println(string(data))
-		return
+		return 0
+	}
+	if *tracePth != "" && (*snapPath != "" || *resumeSnap) {
+		fail("-snapshot/-resume do not apply to trace replay")
+	}
+
+	// SIGINT/SIGTERM cancel the run; a final snapshot is written when
+	// -snapshot is set, and the process exits 128+signal.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	caught := make(chan os.Signal, 1)
+	go func() {
+		s, ok := <-sigCh
+		if !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "orion: %v: stopping\n", s)
+		caught <- s
+		cancel()
+	}()
+
+	if *selfCheck > 0 {
+		if err := orion.VerifyEventPath(ctx, cfg, *selfCheck, 0); err != nil {
+			fail("self-check: %v", err)
+		}
+		fmt.Printf("self-check passed: fast and reference event paths agree (state hash compared every %d cycles)\n", *selfCheck)
+		return 0
 	}
 
 	var (
 		res *orion.Result
+		sm  *orion.Sim
 		err error
 	)
-	if *tracePth != "" {
+	switch {
+	case *tracePth != "":
 		f, ferr := os.Open(*tracePth)
 		if ferr != nil {
 			fail("%v", ferr)
 		}
 		defer f.Close()
 		res, err = orion.RunTrace(cfg, f)
-	} else {
-		res, err = orion.Run(cfg)
+	case *snapPath != "":
+		if *resumeSnap {
+			sm, err = orion.ResumeFile(ctx, cfg, *snapPath)
+			if err != nil {
+				fail("%v", err)
+			}
+			fmt.Printf("resumed from %s at cycle %d (replay verified)\n", *snapPath, sm.Cycle())
+		} else {
+			sm, err = orion.NewSim(cfg)
+			if err != nil {
+				fail("%v", err)
+			}
+		}
+		sm.SetSnapshotFile(*snapPath, *snapEvery)
+		res, err = sm.RunContext(ctx)
+	default:
+		res, err = orion.RunContext(ctx, cfg)
 	}
 	if err != nil {
+		select {
+		case s := <-caught:
+			if errors.Is(err, context.Canceled) && sm != nil {
+				if serr := sm.SaveSnapshot(*snapPath); serr != nil {
+					fmt.Fprintf(os.Stderr, "orion: final snapshot: %v\n", serr)
+				} else {
+					fmt.Fprintf(os.Stderr, "orion: interrupted at cycle %d; snapshot written to %s (resume with -resume)\n",
+						sm.Cycle(), *snapPath)
+				}
+			}
+			if ss, ok := s.(syscall.Signal); ok {
+				return 128 + int(ss)
+			}
+			return 1
+		default:
+		}
 		fail("%v", err)
 	}
 
@@ -246,6 +329,7 @@ func main() {
 			fmt.Printf("  %8d  %.4g\n", int64(i)*(*profileWin), w)
 		}
 	}
+	return 0
 }
 
 func topoName(mesh bool) string {

@@ -1,10 +1,12 @@
 package orion
 
 import (
+	"errors"
 	"fmt"
 
 	"orion/internal/core"
 	"orion/internal/fault"
+	"orion/internal/snap"
 )
 
 // Sentinel errors classifying run failures. Every error returned by Run,
@@ -38,6 +40,49 @@ var (
 	// ErrFaulted marks failures attributable to an active fault schedule.
 	ErrFaulted = fault.ErrFaulted
 )
+
+// Sentinels for the checkpoint/resume and journaling layer.
+var (
+	// ErrSnapshot marks a snapshot that was rejected: damaged bytes, an
+	// incompatible format version, or a configuration digest that does
+	// not match the resuming configuration. The more specific
+	// ErrSnapshotCorrupt / ErrSnapshotVersion are wrapped alongside when
+	// they apply.
+	ErrSnapshot = errors.New("orion: snapshot rejected")
+	// ErrSnapshotCorrupt marks a snapshot whose envelope or payload is
+	// damaged (bad magic, truncation, checksum mismatch).
+	ErrSnapshotCorrupt = snap.ErrCorrupt
+	// ErrSnapshotVersion marks a snapshot written by an incompatible
+	// format version.
+	ErrSnapshotVersion = snap.ErrVersion
+	// ErrDiverged marks a deterministic replay that failed to reproduce
+	// the snapshotted state — the simulator self-check for
+	// non-determinism. errors.As recovers the *DivergenceError naming the
+	// first differing state section.
+	ErrDiverged = errors.New("orion: deterministic replay diverged")
+	// ErrJournal marks a sweep journal that was rejected: a corrupt line
+	// in its interior, or a header whose configuration digest does not
+	// match the resuming sweep.
+	ErrJournal = errors.New("orion: journal rejected")
+)
+
+// DivergenceError is the structured diagnostic behind ErrDiverged: the
+// cycle at which states were compared and the first differing section
+// ("routers", "energy", "traffic", ...).
+type DivergenceError struct {
+	// Cycle is the comparison cycle.
+	Cycle int64
+	// Section describes the first differing state section.
+	Section string
+}
+
+// Error implements error.
+func (e *DivergenceError) Error() string {
+	return fmt.Sprintf("orion: state divergence at cycle %d: first difference in %s", e.Cycle, e.Section)
+}
+
+// Unwrap ties the diagnostic to ErrDiverged for errors.Is.
+func (e *DivergenceError) Unwrap() error { return ErrDiverged }
 
 // InvariantError is the structured diagnostic behind ErrInvariant: the
 // violated invariant, the cycle, and the node/port/VC/component involved.

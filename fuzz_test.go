@@ -1,6 +1,11 @@
 package orion
 
-import "testing"
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 // FuzzLoadConfigJSON throws arbitrary bytes at the config loader. It must
 // never panic: either the input is rejected with an error, or it yields a
@@ -54,6 +59,75 @@ func FuzzParseFaultSpec(f *testing.F) {
 			if fa.Kind < FaultLinkStall || fa.Kind > FaultBitFlip {
 				t.Fatalf("fault %d: parsed impossible kind %d from %q", i, fa.Kind, spec)
 			}
+		}
+	})
+}
+
+// FuzzLoadSnapshot throws arbitrary bytes at the snapshot decoder. The
+// decoder must never panic (it is the trust boundary for resume: the file
+// may be torn, truncated, or malicious), and every rejection must carry
+// the typed ErrSnapshot sentinel. Accepted input must round-trip through
+// Encode bit-exactly.
+func FuzzLoadSnapshot(f *testing.F) {
+	s, err := NewSim(fastConfig(0.05))
+	if err != nil {
+		f.Fatal(err)
+	}
+	snapshot, err := s.Snapshot()
+	if err != nil {
+		f.Fatal(err)
+	}
+	good := snapshot.Encode()
+	f.Add(good)
+	f.Add(good[:len(good)/2])
+	f.Add([]byte("ORSN"))
+	f.Add([]byte{})
+	bad := append([]byte(nil), good...)
+	bad[9]++ // version byte
+	f.Add(bad)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, err := LoadSnapshot(data)
+		if err != nil {
+			if !errors.Is(err, ErrSnapshot) {
+				t.Fatalf("rejection lacks ErrSnapshot: %v", err)
+			}
+			return
+		}
+		re := loaded.Encode()
+		if string(re) != string(data) {
+			t.Fatalf("accepted snapshot does not re-encode to its input (%d vs %d bytes)", len(re), len(data))
+		}
+	})
+}
+
+// FuzzJournalLine throws arbitrary file contents at the sweep-journal
+// reader. Reading must never panic: a journal is either parsed (possibly
+// dropping a torn trailing line) or rejected with the typed ErrJournal.
+func FuzzJournalLine(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte(`{"version":1,"config_digest":"ab","rates":[0.1]}` + "\n"))
+	f.Add([]byte(`{"version":1,"config_digest":"ab","rates":[0.1]}` + "\n" +
+		`{"index":0,"rate":0.1,"err":"x","err_kind":"saturated"}` + "\n"))
+	f.Add([]byte(`{"version":1}` + "\n" + `{"index":0` /* torn tail */))
+	f.Add([]byte(`{"version":1}` + "\n" + `garbage` + "\n" + `{"index":1}` + "\n"))
+	f.Add([]byte(`not a header` + "\n"))
+	f.Add([]byte("\n\n\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.jsonl")
+		if err := os.WriteFile(path, data, 0o600); err != nil {
+			t.Skip()
+		}
+		n, err := JournalPoints(path)
+		if err != nil {
+			if !errors.Is(err, ErrJournal) {
+				t.Fatalf("rejection lacks ErrJournal: %v", err)
+			}
+			return
+		}
+		if n < 0 {
+			t.Fatalf("negative point count %d", n)
 		}
 	})
 }

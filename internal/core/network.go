@@ -50,6 +50,36 @@ type Network struct {
 
 	// checker is the runtime invariant checker (nil unless enabled).
 	checker *Checker
+
+	// run holds the measurement-protocol state (formerly RunContext
+	// locals) so a run can be advanced in segments — StepTo for replay
+	// restore, periodic snapshot hooks — without changing the protocol.
+	run runState
+
+	// Periodic snapshot hook: when snapEvery > 0, snapSink fires at each
+	// cycle boundary divisible by snapEvery, before that cycle's tick.
+	// Disabled (snapEvery == 0) it costs one integer compare per cycle
+	// and no allocations.
+	snapEvery int64
+	snapSink  func(*Network) error
+	lastSnap  int64
+
+	// Wires and DVS controllers in deterministic creation order, walked
+	// by state capture.
+	dataWires []*sim.Wire[*flit.Flit]
+	credWires []*sim.Wire[flit.Credit]
+	dvsCtrls  []*power.DVSController
+}
+
+// SetSnapshotHook installs a periodic snapshot sink invoked at every cycle
+// divisible by every (before that cycle executes). every <= 0 disables the
+// hook. The sink must not mutate simulator state.
+func (n *Network) SetSnapshotHook(every int64, sink func(*Network) error) {
+	if every <= 0 || sink == nil {
+		n.snapEvery, n.snapSink = 0, nil
+		return
+	}
+	n.snapEvery, n.snapSink = every, sink
 }
 
 // Build assembles a network from a validated configuration.
@@ -198,6 +228,8 @@ func (n *Network) wire() error {
 			credit := sim.NewLossyWire[flit.Credit](fmt.Sprintf("credit %d<-%d", node, neighbor))
 			n.engine.Connect(data)
 			n.engine.Connect(credit)
+			n.dataWires = append(n.dataWires, data)
+			n.credWires = append(n.credWires, credit)
 			if err := n.routers[node].AttachOutput(port, data, credit, rcfg.BufferDepth, false); err != nil {
 				return err
 			}
@@ -211,6 +243,8 @@ func (n *Network) wire() error {
 		injCred := sim.NewLossyWire[flit.Credit](fmt.Sprintf("inject-credit %d", node))
 		n.engine.Connect(inj)
 		n.engine.Connect(injCred)
+		n.dataWires = append(n.dataWires, inj)
+		n.credWires = append(n.credWires, injCred)
 		if err := n.routers[node].AttachInput(local, inj, injCred); err != nil {
 			return err
 		}
@@ -223,6 +257,7 @@ func (n *Network) wire() error {
 		// Ejection (immediate, Section 4.1).
 		eject := sim.NewWire[*flit.Flit](fmt.Sprintf("eject %d", node))
 		n.engine.Connect(eject)
+		n.dataWires = append(n.dataWires, eject)
 		if err := n.routers[node].AttachOutput(local, eject, nil, 0, true); err != nil {
 			return err
 		}
@@ -315,6 +350,9 @@ func (n *Network) Snapshot() (sourceQueues, buffered []int) {
 	}
 	return sourceQueues, buffered
 }
+
+// Cycle returns the engine's current cycle.
+func (n *Network) Cycle() int64 { return n.engine.Cycle() }
 
 // SampleStatus reports sample-packet progress, for diagnostics.
 func (n *Network) SampleStatus() (injected, received int) {
@@ -501,6 +539,7 @@ func (n *Network) registerPowerModels() error {
 						return err
 					}
 					n.meter.RegisterLinkDVS(node, p, ctrl)
+					n.dvsCtrls = append(n.dvsCtrls, ctrl)
 					if err := n.routers[node].SetGovernor(p, ctrl); err != nil {
 						return err
 					}

@@ -105,101 +105,152 @@ func (n *Network) guardErr(sentinel error, format string, args ...any) error {
 	return fmt.Errorf("core: %s: %w", msg, sentinel)
 }
 
+// runState is the measurement-protocol state that used to live in
+// RunContext locals. Holding it on the Network lets a run advance in
+// segments — a replay restore steps to the snapshot cycle and stops, a
+// periodic snapshot hook fires mid-run — while the protocol semantics
+// stay exactly those of the original two-phase loop.
+type runState struct {
+	// measuring is true once the warm-up finished and energy recording
+	// began.
+	measuring    bool
+	measureStart int64
+	counts0      [sim.NumEventTypes]int64
+
+	// The delivery target only ever changes when trace replay runs dry
+	// (the sample is then capped at what was actually injected).
+	hasTrace bool
+	target   int
+
+	// Power-vs-time profiling state. nextProfile tracks the next sampling
+	// cycle directly so the per-cycle loop pays no modulo when profiling
+	// and nothing at all when it is off.
+	profile     []float64
+	lastEnergy  float64
+	baseWatts   float64 // constant link + static power
+	nextProfile int64
+}
+
+// beginMeasurement transitions the run from warm-up to the measurement
+// window (Section 4.1 step 2).
+func (n *Network) beginMeasurement() {
+	cfg := n.cfg
+	n.account.SetRecording(true)
+	n.run.measuring = true
+	n.run.measureStart = n.engine.Cycle()
+	n.lastDeliveryCycle = n.run.measureStart
+	n.run.counts0 = n.bus.Snapshot()
+
+	n.run.hasTrace = cfg.Trace != nil
+	n.run.target = cfg.SamplePackets
+	if n.run.hasTrace && cfg.Trace.Done() && n.sampleInjected < n.run.target {
+		n.run.target = n.sampleInjected
+	}
+
+	n.run.nextProfile = -1
+	if cfg.ProfileWindow > 0 {
+		for _, w := range n.constLink {
+			n.run.baseWatts += w
+		}
+		for _, node := range n.staticW {
+			for _, w := range node {
+				n.run.baseWatts += w
+			}
+		}
+		n.run.nextProfile = n.run.measureStart + cfg.ProfileWindow
+	}
+}
+
+// advance drives the measurement protocol until either the delivery
+// target is met (done == true) or stop is reached (done == false;
+// stop < 0 means run to completion). Both phases — warm-up and
+// measurement — share this one loop so a replayed run crosses the phase
+// boundary at exactly the same cycle as the original.
+func (n *Network) advance(ctx context.Context, stop int64) (done bool, err error) {
+	cfg := n.cfg
+	poll := ctx.Done() != nil
+
+	for {
+		cycle := n.engine.Cycle()
+		if !n.run.measuring && cycle >= cfg.WarmupCycles {
+			n.beginMeasurement()
+		}
+		// Sample packets destroyed by LinkDrop faults can never arrive,
+		// so the delivery condition counts them alongside deliveries; the
+		// guard messages report outstanding packets against the effective
+		// target (trace-capped), not the configured sample size.
+		if n.run.measuring && n.sampleReceived+n.sampleDropped >= n.run.target {
+			return true, nil
+		}
+		if stop >= 0 && cycle >= stop {
+			return false, nil
+		}
+		if poll && cycle&ctxPollMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return false, fmt.Errorf("core: run cancelled at cycle %d: %w", cycle, err)
+			}
+		}
+		if n.snapEvery > 0 && cycle > 0 && cycle%n.snapEvery == 0 && cycle != n.lastSnap {
+			n.lastSnap = cycle
+			if err := n.snapSink(n); err != nil {
+				return false, fmt.Errorf("core: snapshot at cycle %d: %w", cycle, err)
+			}
+		}
+		if n.run.measuring {
+			if cycle == n.run.nextProfile {
+				e := n.account.Total()
+				n.run.profile = append(n.run.profile,
+					(e-n.run.lastEnergy)*cfg.Tech.FreqHz/float64(cfg.ProfileWindow)+n.run.baseWatts)
+				n.run.lastEnergy = e
+				n.run.nextProfile += cfg.ProfileWindow
+			}
+			if cycle >= cfg.MaxCycles {
+				return false, n.guardErr(ErrSaturated,
+					"%d of %d sample packets delivered after %d cycles, %d outstanding (offered load beyond capacity or MaxCycles too small)",
+					n.sampleReceived, n.run.target, cycle, n.run.target-n.sampleReceived-n.sampleDropped)
+			}
+			if cycle-n.lastDeliveryCycle > cfg.ProgressWindow {
+				return false, n.guardErr(ErrDeadlock,
+					"no flit delivered for %d cycles with %d of %d sample packets outstanding (deadlock or starvation)",
+					cfg.ProgressWindow, n.run.target-n.sampleReceived-n.sampleDropped, n.run.target)
+			}
+		}
+		if err := n.tick(n.run.measuring && n.sampleInjected < cfg.SamplePackets); err != nil {
+			return false, err
+		}
+		if err := n.checker.Err(); err != nil {
+			return false, err
+		}
+		if n.run.measuring && n.run.hasTrace && cfg.Trace.Done() && n.sampleInjected < n.run.target {
+			n.run.target = n.sampleInjected
+		}
+	}
+}
+
+// StepTo advances the run to the given cycle boundary without finishing
+// it, crossing the warm-up/measurement transition exactly as an
+// uninterrupted run would. It reports done == true if the delivery target
+// was met at or before the boundary.
+func (n *Network) StepTo(ctx context.Context, cycle int64) (done bool, err error) {
+	return n.advance(ctx, cycle)
+}
+
 // RunContext is Run with cooperative cancellation: the context is polled
 // every 1024 cycles (only when it is cancellable at all), and a cancelled
 // run returns the context's error wrapped with the aborting cycle.
 func (n *Network) RunContext(ctx context.Context) (*Result, error) {
+	if _, err := n.advance(ctx, -1); err != nil {
+		return nil, err
+	}
+	return n.finalize()
+}
+
+// finalize runs the end-of-measurement checks and assembles the Result.
+func (n *Network) finalize() (*Result, error) {
 	cfg := n.cfg
-	poll := ctx.Done() != nil
-
-	// Phase 1: warm-up.
-	for n.engine.Cycle() < cfg.WarmupCycles {
-		if poll && n.engine.Cycle()&ctxPollMask == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("core: run cancelled at cycle %d: %w", n.engine.Cycle(), err)
-			}
-		}
-		if err := n.tick(false); err != nil {
-			return nil, err
-		}
-		if err := n.checker.Err(); err != nil {
-			return nil, err
-		}
-	}
-
-	// Phase 2: measurement.
-	n.account.SetRecording(true)
-	measureStart := n.engine.Cycle()
-	n.lastDeliveryCycle = measureStart
-	countsAtStart := n.bus.Snapshot()
-
-	// The delivery target is a plain variable, not a per-iteration
-	// closure: it only ever changes when trace replay runs dry (the
-	// sample is then capped at what was actually injected).
-	hasTrace := cfg.Trace != nil
-	target := cfg.SamplePackets
-	if hasTrace && cfg.Trace.Done() && n.sampleInjected < target {
-		target = n.sampleInjected
-	}
-
-	// Power-vs-time profiling state. nextProfile tracks the next sampling
-	// cycle directly so the per-cycle loop below pays no modulo when
-	// profiling and nothing at all when it is off.
-	var (
-		profile     []float64
-		lastEnergy  float64
-		baseWatts   float64 // constant link + static power
-		nextProfile int64   = -1
-	)
-	if cfg.ProfileWindow > 0 {
-		for _, w := range n.constLink {
-			baseWatts += w
-		}
-		for _, node := range n.staticW {
-			for _, w := range node {
-				baseWatts += w
-			}
-		}
-		nextProfile = measureStart + cfg.ProfileWindow
-	}
-
-	// Sample packets destroyed by LinkDrop faults can never arrive, so
-	// the delivery condition counts them alongside deliveries; the guard
-	// messages report outstanding packets against the effective target
-	// (trace-capped), not the configured sample size.
-	for n.sampleReceived+n.sampleDropped < target {
-		cycle := n.engine.Cycle()
-		if poll && cycle&ctxPollMask == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("core: run cancelled at cycle %d: %w", cycle, err)
-			}
-		}
-		if cycle == nextProfile {
-			e := n.account.Total()
-			profile = append(profile, (e-lastEnergy)*cfg.Tech.FreqHz/float64(cfg.ProfileWindow)+baseWatts)
-			lastEnergy = e
-			nextProfile += cfg.ProfileWindow
-		}
-		if cycle >= cfg.MaxCycles {
-			return nil, n.guardErr(ErrSaturated,
-				"%d of %d sample packets delivered after %d cycles, %d outstanding (offered load beyond capacity or MaxCycles too small)",
-				n.sampleReceived, target, cycle, target-n.sampleReceived-n.sampleDropped)
-		}
-		if cycle-n.lastDeliveryCycle > cfg.ProgressWindow {
-			return nil, n.guardErr(ErrDeadlock,
-				"no flit delivered for %d cycles with %d of %d sample packets outstanding (deadlock or starvation)",
-				cfg.ProgressWindow, target-n.sampleReceived-n.sampleDropped, target)
-		}
-		if err := n.tick(n.sampleInjected < cfg.SamplePackets); err != nil {
-			return nil, err
-		}
-		if err := n.checker.Err(); err != nil {
-			return nil, err
-		}
-		if hasTrace && cfg.Trace.Done() && n.sampleInjected < target {
-			target = n.sampleInjected
-		}
-	}
+	measureStart := n.run.measureStart
+	countsAtStart := n.run.counts0
+	profile := n.run.profile
 	if err := n.meter.Err(); err != nil {
 		return nil, err
 	}

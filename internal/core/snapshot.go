@@ -1,0 +1,263 @@
+package core
+
+import (
+	"fmt"
+
+	"orion/internal/flit"
+	"orion/internal/snap"
+	"orion/internal/traffic"
+)
+
+// State capture: CaptureState walks every piece of simulator state that
+// persists across cycles into a sectioned snap.Snapshot, taken at a cycle
+// boundary (between ticks, after the engine latched its wires). Two runs
+// of the same configuration capture byte-identical snapshots at the same
+// cycle — the determinism contract the golden tests enforce — so the
+// capture serves three masters:
+//
+//   - snapshot files: the capture plus the envelope (version, CRC) is
+//     what SaveSnapshot writes;
+//   - restore verification: a resumed run replays to the snapshot cycle
+//     and compares its own capture section by section;
+//   - divergence self-checks: two lockstep builds (fast vs reference
+//     event path) compare StateHash periodically.
+//
+// Deliberately excluded: power-model internals (arbiter priority state,
+// per-link Hamming last-value trackers) — they are reconstructed by
+// replay, and any divergence in them surfaces in the "energy" section
+// within a handful of events. The DVS controllers' policy state is
+// captured, as it directly governs link bandwidth.
+
+// Section names, in capture order.
+const (
+	SecRun     = "run"
+	SecProfile = "profile"
+	SecEvents  = "events"
+	SecEnergy  = "energy"
+	SecTraffic = "traffic"
+	SecFault   = "fault"
+	SecSampler = "sampler"
+	SecSources = "sources"
+	SecSinks   = "sinks"
+	SecRouters = "routers"
+	SecWires   = "wires"
+	SecDVS     = "dvs"
+)
+
+// flitEmitter returns a closure that appends one flit's identity record to
+// the encoder: packet identity, position within the packet, routing state
+// and a payload digest. Payload words are folded into an FNV-1a hash so
+// large flits do not bloat the snapshot; replayed runs regenerate
+// identical payloads, so equal digests mean equal payloads.
+func flitEmitter(e *snap.Encoder) func(*flit.Flit) {
+	return func(f *flit.Flit) {
+		if f == nil {
+			e.U64(0)
+			return
+		}
+		e.U64(1)
+		if p := f.Packet; p != nil {
+			e.I64(p.ID)
+			e.Int(p.Src)
+			e.Int(p.Dst)
+			e.Int(p.Length)
+			e.I64(p.CreatedAt)
+			e.Bool(p.Sample)
+		} else {
+			e.I64(-1)
+		}
+		e.Int(f.Seq)
+		e.Int(int(f.Kind))
+		e.Int(f.VC)
+		e.Int(f.Hop)
+		h := uint64(14695981039346656037)
+		for _, w := range f.Payload {
+			h ^= w
+			h *= 1099511628211
+		}
+		e.U64(h)
+	}
+}
+
+// CaptureState records the network's full cross-cycle state at the
+// current cycle boundary. configDigest binds the snapshot to the producing
+// configuration (the public API passes a SHA-256 of the canonical config
+// JSON). The capture reads but never mutates simulator state.
+func (n *Network) CaptureState(configDigest []byte) (*snap.Snapshot, error) {
+	s := &snap.Snapshot{
+		ConfigDigest: append([]byte(nil), configDigest...),
+		Cycle:        n.engine.Cycle(),
+	}
+	add := func(name string, e *snap.Encoder) {
+		s.Sections = append(s.Sections, snap.Section{Name: name, Data: e.Data()})
+	}
+
+	// run: protocol progress and flow counters.
+	run := &snap.Encoder{}
+	run.I64(n.engine.Cycle())
+	run.Bool(n.run.measuring)
+	run.I64(n.run.measureStart)
+	run.Int(n.run.target)
+	run.Bool(n.run.hasTrace)
+	run.Int(n.sampleInjected)
+	run.Int(n.sampleReceived)
+	run.Int(n.sampleDropped)
+	run.I64(n.injectedFlits)
+	run.I64(n.ejectedFlits)
+	run.I64(n.droppedFlits)
+	run.I64(n.lastDeliveryCycle)
+	run.Bool(n.account.Recording())
+	if n.cfg.Trace != nil {
+		run.Int(n.cfg.Trace.Pos())
+	} else {
+		run.I64(-1)
+	}
+	add(SecRun, run)
+
+	// profile: power-vs-time sampling progress.
+	prof := &snap.Encoder{}
+	prof.F64(n.run.baseWatts)
+	prof.F64(n.run.lastEnergy)
+	prof.I64(n.run.nextProfile)
+	prof.Int(len(n.run.profile))
+	for _, w := range n.run.profile {
+		prof.F64(w)
+	}
+	add(SecProfile, prof)
+
+	// events: cumulative bus counts by type.
+	ev := &snap.Encoder{}
+	counts := n.bus.Snapshot()
+	for _, c := range counts {
+		ev.I64(c)
+	}
+	for _, c := range n.run.counts0 {
+		ev.I64(c)
+	}
+	add(SecEvents, ev)
+
+	// energy: per-node per-component accumulators, bit-exact.
+	en := &snap.Encoder{}
+	for node := 0; node < n.account.Nodes(); node++ {
+		comps := n.account.Node(node)
+		for _, j := range comps {
+			en.F64(j)
+		}
+	}
+	add(SecEnergy, en)
+
+	// traffic: generator RNG stream, ID counter, per-node generation
+	// counts and any stateful pattern cursor.
+	tr := &snap.Encoder{}
+	rngState, err := n.gen.RNGState()
+	if err != nil {
+		return nil, fmt.Errorf("core: capturing traffic RNG: %w", err)
+	}
+	tr.Bytes(rngState)
+	tr.I64(n.gen.NextID())
+	for _, g := range n.gen.Generated {
+		tr.I64(g)
+	}
+	if sp, ok := n.cfg.Traffic.Pattern.(traffic.StatefulPattern); ok {
+		tr.I64(sp.PatternState())
+	}
+	add(SecTraffic, tr)
+
+	// fault: schedule progress — corruption stream and effect counters.
+	fa := &snap.Encoder{}
+	if n.injector != nil {
+		fa.Bool(true)
+		frng, err := n.injector.RNGState()
+		if err != nil {
+			return nil, fmt.Errorf("core: capturing fault RNG: %w", err)
+		}
+		fa.Bytes(frng)
+		st := n.injector.Stats()
+		fa.I64(st.DroppedPackets)
+		fa.I64(st.DroppedFlits)
+		fa.I64(st.FlippedFlits)
+		fa.I64(st.FlippedBits)
+		fa.I64(st.StalledLinkCycles)
+		fa.I64(st.StalledPortCycles)
+	} else {
+		fa.Bool(false)
+	}
+	add(SecFault, fa)
+
+	// sampler: latency statistics and raw samples.
+	sa := &snap.Encoder{}
+	n.sampler.EncodeState(sa.U64)
+	add(SecSampler, sa)
+
+	// sources and sinks.
+	so := &snap.Encoder{}
+	soEmit := flitEmitter(so)
+	for _, src := range n.sources {
+		src.EncodeState(so.U64, soEmit)
+	}
+	add(SecSources, so)
+
+	si := &snap.Encoder{}
+	for _, sink := range n.sinks {
+		si.I64(sink.Ejected)
+	}
+	add(SecSinks, si)
+
+	// routers: buffers, VC state machines, credits, pipeline registers.
+	ro := &snap.Encoder{}
+	roEmit := flitEmitter(ro)
+	for _, r := range n.routers {
+		r.EncodeState(ro.U64, roEmit)
+	}
+	add(SecRouters, ro)
+
+	// wires: values latched in flight between modules. At a cycle
+	// boundary the engine has latched everything, so next is empty; it is
+	// captured anyway to keep the format honest about the latch state.
+	wi := &snap.Encoder{}
+	wiEmit := flitEmitter(wi)
+	for _, w := range n.dataWires {
+		cur, curOK, next, nextOK := w.Pending()
+		wi.Bool(curOK)
+		if curOK {
+			wiEmit(cur)
+		}
+		wi.Bool(nextOK)
+		if nextOK {
+			wiEmit(next)
+		}
+	}
+	for _, w := range n.credWires {
+		cur, curOK, next, nextOK := w.Pending()
+		wi.Bool(curOK)
+		if curOK {
+			wi.Int(cur.VC)
+		}
+		wi.Bool(nextOK)
+		if nextOK {
+			wi.Int(next.VC)
+		}
+	}
+	add(SecWires, wi)
+
+	// dvs: link voltage-scaling policy state.
+	dv := &snap.Encoder{}
+	dv.Int(len(n.dvsCtrls))
+	for _, c := range n.dvsCtrls {
+		c.EncodeState(dv.U64)
+	}
+	add(SecDVS, dv)
+
+	return s, nil
+}
+
+// StateHash returns the FNV-1a hash of the network's captured state — the
+// canonical fingerprint used for snapshot integrity and divergence
+// self-checks.
+func (n *Network) StateHash() (uint64, error) {
+	s, err := n.CaptureState(nil)
+	if err != nil {
+		return 0, err
+	}
+	return s.Hash(), nil
+}

@@ -24,8 +24,12 @@ package fault
 import (
 	"errors"
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 )
+
+// pcgStreamFault salts the fault PCG stream so it stays independent of the
+// traffic stream even when both use the same user seed.
+const pcgStreamFault = 0x6f72696f6e2d6661 // "orion-fa"
 
 // ErrFaulted marks run failures attributable to active fault injection
 // (e.g. a permanent link stall starving the sample), for errors.Is.
@@ -181,6 +185,7 @@ func (s Stats) Any() bool {
 // views so unfaulted nodes pay a single nil check.
 type Injector struct {
 	nodes []*NodeFaults
+	src   *rand.PCG
 	rng   *rand.Rand
 	stats Stats
 }
@@ -191,9 +196,11 @@ func NewInjector(cfg Config, nodes, ports int) (*Injector, error) {
 	if err := cfg.Validate(nodes, ports); err != nil {
 		return nil, err
 	}
+	src := rand.NewPCG(uint64(cfg.Seed), pcgStreamFault)
 	inj := &Injector{
 		nodes: make([]*NodeFaults, nodes),
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		src:   src,
+		rng:   rand.New(src),
 	}
 	for _, f := range cfg.Faults {
 		nf := inj.nodes[f.Node]
@@ -231,6 +238,9 @@ func (i *Injector) Node(n int) *NodeFaults {
 
 // Stats returns the effect counters accumulated so far.
 func (i *Injector) Stats() Stats { return i.stats }
+
+// RNGState returns the corruption stream's PCG state, for snapshots.
+func (i *Injector) RNGState() ([]byte, error) { return i.src.MarshalBinary() }
 
 // Fired reports whether any fault observably affected the run — used to
 // attribute guard failures (saturation, deadlock) to the schedule.
@@ -304,7 +314,7 @@ func (nf *NodeFaults) Corrupt(port int, cycle int64, payload []uint64, widthBits
 		if !f.active(cycle) || nf.inj.rng.Float64() >= f.Rate {
 			continue
 		}
-		bit := nf.inj.rng.Intn(widthBits)
+		bit := nf.inj.rng.IntN(widthBits)
 		payload[bit/64] ^= 1 << uint(bit%64)
 		flipped++
 	}
@@ -329,7 +339,7 @@ func RandomLinks(seed int64, links [][2]int, n int, kind Kind, start, duration i
 	if n <= 0 {
 		return nil, fmt.Errorf("fault: fault count must be positive, got %d", n)
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewPCG(uint64(seed), pcgStreamFault))
 	// Sample without replacement while faults remain scarce, with
 	// replacement beyond that.
 	perm := rng.Perm(len(links))
@@ -339,7 +349,7 @@ func RandomLinks(seed int64, links [][2]int, n int, kind Kind, start, duration i
 		if i < len(perm) {
 			l = links[perm[i]]
 		} else {
-			l = links[rng.Intn(len(links))]
+			l = links[rng.IntN(len(links))]
 		}
 		faults = append(faults, Fault{
 			Kind: kind, Node: l[0], Port: l[1],

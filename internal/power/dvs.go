@@ -149,6 +149,19 @@ func (c *DVSController) EnergyScale(cycle int64) float64 {
 	return v * v
 }
 
+// EncodeState emits the controller's mutable state — operating level,
+// utilisation window progress and level residency — as fixed-width words,
+// for snapshot capture. It must not advance the window.
+func (c *DVSController) EncodeState(put func(uint64)) {
+	put(uint64(int64(c.level)))
+	put(uint64(c.windowStart))
+	put(uint64(c.flits))
+	put(uint64(c.lastCycle))
+	for _, r := range c.residency {
+		put(uint64(r))
+	}
+}
+
 // Residency returns cycles spent at each level so far.
 func (c *DVSController) Residency() []int64 {
 	out := make([]int64, len(c.residency))

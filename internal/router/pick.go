@@ -47,6 +47,13 @@ type fifo[T any] struct {
 
 func (f *fifo[T]) len() int { return len(f.items) - f.head }
 
+// each visits the queued items front to back without consuming them.
+func (f *fifo[T]) each(fn func(T)) {
+	for i := f.head; i < len(f.items); i++ {
+		fn(f.items[i])
+	}
+}
+
 func (f *fifo[T]) push(v T) { f.items = append(f.items, v) }
 
 func (f *fifo[T]) front() (T, bool) {

@@ -1,0 +1,128 @@
+package router
+
+import "orion/internal/flit"
+
+// This file implements EncodeState for both router microarchitectures and
+// the source: a flat, deterministic dump of every piece of state that
+// persists across cycles. Scratch buffers rebuilt from scratch each tick
+// (XBRouter.cand) are excluded; pipeline registers that carry work between
+// ticks (XBRouter.stExec) are included.
+
+func putBool(put func(uint64), b bool) {
+	if b {
+		put(1)
+	} else {
+		put(0)
+	}
+}
+
+// EncodeState implements Router.
+func (r *XBRouter) EncodeState(put func(uint64), emit func(*flit.Flit)) {
+	for p := range r.in {
+		for v := range r.in[p] {
+			ivc := &r.in[p][v]
+			put(uint64(ivc.state))
+			put(uint64(int64(ivc.outPort)))
+			put(uint64(int64(ivc.outVC)))
+			putBool(put, ivc.pendingST)
+			put(uint64(ivc.q.len()))
+			ivc.q.each(emit)
+		}
+	}
+	for p := range r.out {
+		for v := range r.out[p] {
+			ovc := &r.out[p][v]
+			putBool(put, ovc.free)
+			put(uint64(int64(ovc.credits)))
+			put(uint64(int64(ovc.ownerPort)))
+			put(uint64(int64(ovc.ownerVC)))
+			putBool(put, ovc.dropping)
+		}
+	}
+	put(uint64(len(r.stExec)))
+	for _, g := range r.stExec {
+		put(uint64(int64(g.inPort)))
+		put(uint64(int64(g.inVC)))
+		put(uint64(int64(g.outPort)))
+		put(uint64(int64(g.outVC)))
+	}
+	for i := range r.saIn {
+		put(uint64(int64(r.saIn[i].ptr)))
+	}
+	for i := range r.saOut {
+		put(uint64(int64(r.saOut[i].ptr)))
+	}
+	for i := range r.vaIn {
+		put(uint64(int64(r.vaIn[i].ptr)))
+	}
+	for i := range r.vaOut {
+		put(uint64(int64(r.vaOut[i].ptr)))
+	}
+	for _, free := range r.outFree {
+		put(uint64(free))
+	}
+}
+
+// EncodeState implements Router.
+func (r *CBRouter) EncodeState(put func(uint64), emit func(*flit.Flit)) {
+	for p := range r.inQ {
+		put(uint64(r.inQ[p].len()))
+		r.inQ[p].each(emit)
+	}
+	emitPkt := func(pkt *cbPacket) {
+		putBool(put, pkt.complete)
+		put(uint64(int64(pkt.inPort)))
+		put(uint64(pkt.entries.len()))
+		pkt.entries.each(func(e cbEntry) {
+			put(uint64(int64(e.bank)))
+			put(uint64(e.writeCycle))
+			emit(e.f)
+		})
+	}
+	// curWrite entries may also sit in an output queue (a packet is
+	// readable while still being written); emitting them from both views
+	// is fine — the stream stays deterministic either way.
+	for p := range r.curWrite {
+		if r.curWrite[p] == nil {
+			put(0)
+			continue
+		}
+		put(1)
+		emitPkt(r.curWrite[p])
+	}
+	for o := range r.outQ {
+		put(uint64(r.outQ[o].len()))
+		r.outQ[o].each(emitPkt)
+	}
+	put(uint64(int64(r.used)))
+	put(uint64(int64(r.bankNext)))
+	for _, c := range r.outCredits {
+		put(uint64(int64(c)))
+	}
+	for i := range r.writePick {
+		put(uint64(int64(r.writePick[i].ptr)))
+	}
+	for i := range r.readPick {
+		put(uint64(int64(r.readPick[i].ptr)))
+	}
+	for _, free := range r.outFree {
+		put(uint64(free))
+	}
+	for _, d := range r.dropping {
+		putBool(put, d)
+	}
+}
+
+// EncodeState emits the source's mutable state: injection credits, the
+// current packet's VC, the arbitration pointer, the injected count and the
+// queued flits.
+func (s *Source) EncodeState(put func(uint64), emit func(*flit.Flit)) {
+	for _, c := range s.credits {
+		put(uint64(int64(c)))
+	}
+	put(uint64(int64(s.curVC)))
+	put(uint64(int64(s.vcPick.ptr)))
+	put(uint64(s.Injected))
+	put(uint64(s.queue.len()))
+	s.queue.each(emit)
+}

@@ -28,6 +28,13 @@ type Router interface {
 	SetFaults(nf *fault.NodeFaults, onDrop DropHandler) error
 	// Config returns the router's configuration.
 	Config() Config
+	// EncodeState emits the router's mutable architectural state —
+	// per-VC state machines, occupancy, credits, arbitration pointers,
+	// pipeline registers — as fixed-width words via put, and every
+	// buffered flit via emit, in a fixed deterministic order. Snapshots
+	// compare these streams to detect divergence; EncodeState must not
+	// mutate the router.
+	EncodeState(put func(uint64), emit func(*flit.Flit))
 }
 
 // DropHandler observes flits discarded by fault injection, in drop order

@@ -86,6 +86,14 @@ func (w *Wire[T]) Take() (T, bool) {
 // Dropped returns the number of values lost on a lossy wire.
 func (w *Wire[T]) Dropped() int64 { return w.dropped }
 
+// Pending exposes the wire's latch state without consuming it: the value
+// visible this cycle (cur) and the value sent this cycle awaiting latch
+// (next). State capture uses it to record in-flight values at a cycle
+// boundary, where next is always empty.
+func (w *Wire[T]) Pending() (cur T, curOK bool, next T, nextOK bool) {
+	return w.cur, w.curOK, w.next, w.nextOK
+}
+
 // Latch implements Latchable.
 func (w *Wire[T]) Latch() error {
 	if w.curOK {

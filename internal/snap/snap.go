@@ -1,0 +1,268 @@
+// Package snap defines the simulator's snapshot container: a versioned,
+// checksummed, sectioned binary record of one simulation's state at a
+// cycle boundary, plus atomic file I/O and a canonical state hash.
+//
+// The container is deliberately dumb: it knows nothing about routers or
+// power models. Producers (internal/core) encode named sections of
+// fixed-width little-endian words; consumers validate the envelope
+// (magic, version, length, CRC-32) and read sections back by name. Two
+// snapshots of the same configuration at the same cycle are byte-equal
+// exactly when the captured simulator states are equal, which is what
+// makes the container double as a divergence detector: Diff names the
+// first section where two captures disagree.
+package snap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"math"
+)
+
+// Magic identifies a snapshot file.
+const Magic = "ORSN"
+
+// Version is the current snapshot format version. Decoders reject other
+// versions with ErrVersion; the envelope (magic, version, length, CRC)
+// is stable across versions so version skew is always detectable.
+const Version = 1
+
+// Typed sentinels for snapshot validation failures, for errors.Is.
+var (
+	// ErrCorrupt marks a snapshot whose envelope or payload is damaged:
+	// bad magic, truncation, length mismatch, checksum mismatch, or a
+	// malformed section table.
+	ErrCorrupt = errors.New("snapshot corrupt")
+	// ErrVersion marks a structurally sound snapshot written by an
+	// incompatible format version.
+	ErrVersion = errors.New("snapshot version unsupported")
+)
+
+// Section is one named chunk of captured state.
+type Section struct {
+	Name string
+	Data []byte
+}
+
+// Snapshot is one decoded (or to-be-encoded) snapshot.
+type Snapshot struct {
+	// Version is the format version (set by Decode; Encode always writes
+	// the package's current Version).
+	Version uint32
+	// ConfigDigest binds the snapshot to the configuration that produced
+	// it (the producer uses a SHA-256 of the canonical config JSON).
+	ConfigDigest []byte
+	// Cycle is the engine cycle at which the state was captured.
+	Cycle int64
+	// Sections hold the captured state in a fixed producer-defined order.
+	Sections []Section
+}
+
+// Section returns the named section's data.
+func (s *Snapshot) Section(name string) ([]byte, bool) {
+	for _, sec := range s.Sections {
+		if sec.Name == name {
+			return sec.Data, true
+		}
+	}
+	return nil, false
+}
+
+// payload serialises everything under the checksum.
+func (s *Snapshot) payload() []byte {
+	n := 4 + len(s.ConfigDigest) + 8 + 4
+	for _, sec := range s.Sections {
+		n += 4 + len(sec.Name) + 8 + len(sec.Data)
+	}
+	buf := make([]byte, 0, n)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.ConfigDigest)))
+	buf = append(buf, s.ConfigDigest...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.Cycle))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Sections)))
+	for _, sec := range s.Sections {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sec.Name)))
+		buf = append(buf, sec.Name...)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(len(sec.Data)))
+		buf = append(buf, sec.Data...)
+	}
+	return buf
+}
+
+// Encode serialises the snapshot with its envelope.
+func (s *Snapshot) Encode() []byte {
+	payload := s.payload()
+	buf := make([]byte, 0, len(Magic)+16+len(payload))
+	buf = append(buf, Magic...)
+	buf = binary.LittleEndian.AppendUint32(buf, Version)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return append(buf, payload...)
+}
+
+// Hash returns the FNV-1a hash of the snapshot's canonical payload — the
+// simulator's state hash. Equal states hash equal; a differing hash means
+// some captured section differs.
+func (s *Snapshot) Hash() uint64 {
+	h := fnv.New64a()
+	h.Write(s.payload())
+	return h.Sum64()
+}
+
+// Decode parses and validates an encoded snapshot. Damaged input returns
+// an error wrapping ErrCorrupt; an incompatible format version returns an
+// error wrapping ErrVersion. Decode never panics on arbitrary input.
+func Decode(data []byte) (*Snapshot, error) {
+	if len(data) < len(Magic)+16 {
+		return nil, fmt.Errorf("snap: %d-byte input shorter than the envelope: %w", len(data), ErrCorrupt)
+	}
+	if string(data[:4]) != Magic {
+		return nil, fmt.Errorf("snap: bad magic %q: %w", data[:4], ErrCorrupt)
+	}
+	version := binary.LittleEndian.Uint32(data[4:8])
+	if version != Version {
+		return nil, fmt.Errorf("snap: format version %d, this build reads version %d: %w", version, Version, ErrVersion)
+	}
+	plen := binary.LittleEndian.Uint64(data[8:16])
+	sum := binary.LittleEndian.Uint32(data[16:20])
+	rest := data[20:]
+	if uint64(len(rest)) != plen {
+		return nil, fmt.Errorf("snap: payload length %d does not match header %d (truncated or padded): %w",
+			len(rest), plen, ErrCorrupt)
+	}
+	if got := crc32.ChecksumIEEE(rest); got != sum {
+		return nil, fmt.Errorf("snap: checksum %08x does not match header %08x: %w", got, sum, ErrCorrupt)
+	}
+	s := &Snapshot{Version: version}
+	r := reader{buf: rest}
+	dlen := r.u32()
+	s.ConfigDigest = r.bytes(int(dlen))
+	s.Cycle = int64(r.u64())
+	nsec := r.u32()
+	if r.err == nil && uint64(nsec) > uint64(len(rest)) {
+		return nil, fmt.Errorf("snap: impossible section count %d: %w", nsec, ErrCorrupt)
+	}
+	for i := 0; r.err == nil && i < int(nsec); i++ {
+		nlen := r.u32()
+		name := r.bytes(int(nlen))
+		dl := r.u64()
+		if r.err == nil && dl > uint64(len(rest)) {
+			return nil, fmt.Errorf("snap: section %d claims %d bytes: %w", i, dl, ErrCorrupt)
+		}
+		body := r.bytes(int(dl))
+		if r.err == nil {
+			s.Sections = append(s.Sections, Section{Name: string(name), Data: body})
+		}
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("snap: %v: %w", r.err, ErrCorrupt)
+	}
+	if len(r.buf) != r.off {
+		return nil, fmt.Errorf("snap: %d trailing bytes after section table: %w", len(r.buf)-r.off, ErrCorrupt)
+	}
+	return s, nil
+}
+
+// Diff compares two snapshots and describes the first difference: the
+// header field or the name of the first section whose contents disagree.
+// It returns "" when the snapshots are identical.
+func Diff(a, b *Snapshot) string {
+	if a.Cycle != b.Cycle {
+		return fmt.Sprintf("cycle %d vs %d", a.Cycle, b.Cycle)
+	}
+	if string(a.ConfigDigest) != string(b.ConfigDigest) {
+		return "config digest"
+	}
+	n := len(a.Sections)
+	if len(b.Sections) < n {
+		n = len(b.Sections)
+	}
+	for i := 0; i < n; i++ {
+		sa, sb := a.Sections[i], b.Sections[i]
+		if sa.Name != sb.Name {
+			return fmt.Sprintf("section order: %q vs %q", sa.Name, sb.Name)
+		}
+		if string(sa.Data) != string(sb.Data) {
+			return fmt.Sprintf("section %q (%d vs %d bytes)", sa.Name, len(sa.Data), len(sb.Data))
+		}
+	}
+	if len(a.Sections) != len(b.Sections) {
+		return fmt.Sprintf("section count %d vs %d", len(a.Sections), len(b.Sections))
+	}
+	return ""
+}
+
+// reader is a bounds-checked little-endian cursor; the first failure
+// sticks.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.buf) || r.off+n < r.off {
+		r.err = fmt.Errorf("read of %d bytes at offset %d overruns %d-byte payload", n, r.off, len(r.buf))
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) u32() uint32 {
+	b := r.bytes(4)
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.bytes(8)
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// Encoder builds one section's data as a sequence of fixed-width
+// little-endian words (plus length-prefixed byte strings). Producers and
+// the replay verifier must call the same methods in the same order.
+type Encoder struct {
+	buf []byte
+}
+
+// U64 appends an unsigned word.
+func (e *Encoder) U64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+// I64 appends a signed word.
+func (e *Encoder) I64(v int64) { e.U64(uint64(v)) }
+
+// Int appends an int as a signed word.
+func (e *Encoder) Int(v int) { e.I64(int64(v)) }
+
+// F64 appends a float's exact bit pattern.
+func (e *Encoder) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Bool appends 0 or 1.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.U64(1)
+	} else {
+		e.U64(0)
+	}
+}
+
+// Bytes appends a length-prefixed byte string.
+func (e *Encoder) Bytes(b []byte) {
+	e.U64(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// Data returns the accumulated section bytes.
+func (e *Encoder) Data() []byte { return e.buf }

@@ -1,0 +1,118 @@
+package snap
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sample() *Snapshot {
+	var e1, e2 Encoder
+	e1.I64(12345)
+	e1.F64(3.25)
+	e1.Bytes([]byte("pcg state"))
+	e2.U64(7)
+	e2.Bool(true)
+	return &Snapshot{
+		ConfigDigest: []byte{0xde, 0xad, 0xbe, 0xef},
+		Cycle:        4096,
+		Sections: []Section{
+			{Name: "run", Data: e1.Data()},
+			{Name: "energy", Data: e2.Data()},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := sample()
+	got, err := Decode(s.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Cycle != s.Cycle || string(got.ConfigDigest) != string(s.ConfigDigest) {
+		t.Fatalf("header mismatch: %+v vs %+v", got, s)
+	}
+	if d := Diff(s, got); d != "" {
+		t.Fatalf("round-trip diff: %s", d)
+	}
+	if s.Hash() != got.Hash() {
+		t.Fatalf("hash changed across round-trip: %x vs %x", s.Hash(), got.Hash())
+	}
+}
+
+func TestDecodeRejectsDamage(t *testing.T) {
+	enc := sample().Encode()
+
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+		want error
+	}{
+		{"empty", func(b []byte) []byte { return nil }, ErrCorrupt},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }, ErrCorrupt},
+		{"truncated", func(b []byte) []byte { return b[:len(b)-3] }, ErrCorrupt},
+		{"flipped payload bit", func(b []byte) []byte { b[len(b)-1] ^= 1; return b }, ErrCorrupt},
+		{"trailing garbage", func(b []byte) []byte { return append(b, 0xFF) }, ErrCorrupt},
+		{"future version", func(b []byte) []byte { b[4] = 99; return b }, ErrVersion},
+	}
+	for _, tc := range cases {
+		buf := append([]byte(nil), enc...)
+		_, err := Decode(tc.mut(buf))
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want errors.Is(%v)", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestHashDetectsSectionChange(t *testing.T) {
+	a, b := sample(), sample()
+	if a.Hash() != b.Hash() {
+		t.Fatal("identical snapshots hash differently")
+	}
+	b.Sections[1].Data = append([]byte(nil), b.Sections[1].Data...)
+	b.Sections[1].Data[0] ^= 1
+	if a.Hash() == b.Hash() {
+		t.Fatal("hash blind to section change")
+	}
+	if d := Diff(a, b); d == "" {
+		t.Fatal("Diff blind to section change")
+	} else if want := `section "energy"`; len(d) < len(want) || d[:len(want)] != want {
+		t.Fatalf("Diff named %q, want it to name the energy section", d)
+	}
+}
+
+func TestWriteFileAtomicAndReadBack(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.orsn")
+	s := sample()
+	if err := WriteFile(path, s); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	// Overwrite with a later snapshot; the temp file must not linger.
+	s2 := sample()
+	s2.Cycle = 8192
+	if err := WriteFile(path, s2); err != nil {
+		t.Fatalf("WriteFile overwrite: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %d entries after two writes, want only the snapshot", len(entries))
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if got.Cycle != 8192 {
+		t.Fatalf("read back cycle %d, want 8192", got.Cycle)
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "nope.orsn")); err == nil {
+		t.Fatal("ReadFile on a missing path succeeded")
+	}
+}

@@ -82,6 +82,23 @@ func (s *LatencySampler) Percentile(p float64) float64 {
 	return s.samples[rank-1]
 }
 
+// EncodeState emits the sampler's accumulated statistics and raw samples
+// (in insertion order) as fixed-width words, for snapshot capture. Call it
+// only before any Percentile query — Percentile sorts the sample list in
+// place, which would change the emitted order.
+func (s *LatencySampler) EncodeState(put func(uint64)) {
+	put(uint64(s.count))
+	put(math.Float64bits(s.sum))
+	put(math.Float64bits(s.sumSq))
+	put(math.Float64bits(s.min))
+	put(math.Float64bits(s.max))
+	put(uint64(s.flits))
+	put(uint64(len(s.samples)))
+	for _, v := range s.samples {
+		put(math.Float64bits(v))
+	}
+}
+
 // Count returns the number of recorded packets.
 func (s *LatencySampler) Count() int64 { return s.count }
 

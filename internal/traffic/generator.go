@@ -2,11 +2,15 @@ package traffic
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 
 	"orion/internal/flit"
 	"orion/internal/topology"
 )
+
+// pcgStreamTraffic salts the traffic PCG stream so a workload and a fault
+// schedule sharing the same user seed still draw from independent streams.
+const pcgStreamTraffic = 0x6f72696f6e2d7472 // "orion-tr"
 
 // Config describes a workload.
 type Config struct {
@@ -80,6 +84,7 @@ type NewPacket struct {
 type Generator struct {
 	cfg    Config
 	topo   topology.Topology
+	src    *rand.PCG
 	rng    *rand.Rand
 	nextID int64
 	words  int
@@ -99,14 +104,22 @@ func NewGenerator(cfg Config, topo topology.Topology) (*Generator, error) {
 	if err := cfg.Validate(topo.Nodes()); err != nil {
 		return nil, err
 	}
+	src := rand.NewPCG(uint64(cfg.Seed), pcgStreamTraffic)
 	return &Generator{
 		cfg:       cfg,
 		topo:      topo,
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		src:       src,
+		rng:       rand.New(src),
 		words:     flit.PayloadWords(cfg.FlitBits),
 		Generated: make([]int64, topo.Nodes()),
 	}, nil
 }
+
+// RNGState returns the generator's PCG stream state, for snapshots.
+func (g *Generator) RNGState() ([]byte, error) { return g.src.MarshalBinary() }
+
+// NextID returns the last packet ID issued, for snapshots.
+func (g *Generator) NextID() int64 { return g.nextID }
 
 // Tick generates this cycle's new packets. The sample flag tags packets
 // belonging to the measurement window. The returned slice is valid only

@@ -12,7 +12,7 @@ package traffic
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 )
 
 // Pattern picks a destination for each generated packet. Implementations
@@ -25,6 +25,15 @@ type Pattern interface {
 	// injected by src. ok is false when src never injects under this
 	// pattern (e.g. non-source nodes of a broadcast).
 	Destination(src int, rng *rand.Rand) (dst int, ok bool)
+}
+
+// StatefulPattern is implemented by patterns with mutable per-run state
+// beyond the RNG stream (e.g. Broadcast's destination cursor); snapshots
+// capture that state so restored runs verify against it.
+type StatefulPattern interface {
+	Pattern
+	// PatternState returns the pattern's mutable state as one integer.
+	PatternState() int64
 }
 
 // Uniform is uniform random traffic over nodes, excluding self-traffic.
@@ -40,7 +49,7 @@ func (u Uniform) Destination(src int, rng *rand.Rand) (int, bool) {
 	if u.Nodes < 2 || src < 0 || src >= u.Nodes {
 		return 0, false
 	}
-	d := rng.Intn(u.Nodes - 1)
+	d := rng.IntN(u.Nodes - 1)
 	if d >= src {
 		d++
 	}
@@ -58,6 +67,9 @@ type Broadcast struct {
 
 // Name implements Pattern.
 func (b *Broadcast) Name() string { return fmt.Sprintf("broadcast-from-%d", b.Source) }
+
+// PatternState implements StatefulPattern.
+func (b *Broadcast) PatternState() int64 { return int64(b.next) }
 
 // Destination implements Pattern.
 func (b *Broadcast) Destination(src int, rng *rand.Rand) (int, bool) {

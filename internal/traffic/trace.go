@@ -85,3 +85,6 @@ func (t *Trace) Done() bool { return t.pos >= len(t.recs) }
 
 // Remaining returns the number of unreplayed records.
 func (t *Trace) Remaining() int { return len(t.recs) - t.pos }
+
+// Pos returns the replay cursor (records consumed so far), for snapshots.
+func (t *Trace) Pos() int { return t.pos }

@@ -1,7 +1,7 @@
 package traffic
 
 import (
-	"math/rand"
+	"math/rand/v2"
 	"strings"
 	"testing"
 
@@ -9,7 +9,7 @@ import (
 	"orion/internal/topology"
 )
 
-func newRNG() *rand.Rand { return rand.New(rand.NewSource(42)) }
+func newRNG() *rand.Rand { return rand.New(rand.NewPCG(42, 0)) }
 
 func TestUniformExcludesSelf(t *testing.T) {
 	u := Uniform{Nodes: 16}

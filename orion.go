@@ -231,6 +231,13 @@ type SimConfig struct {
 	// context.DeadlineExceeded for that rate while the rest of the curve
 	// completes. Zero means no per-point deadline.
 	PointTimeout time.Duration
+	// PointRetries is the number of times a sweep point that failed
+	// transiently (a worker panic or a PointTimeout deadline) is retried
+	// with jittered backoff before its error sticks. Deterministic
+	// failures — saturation, deadlock, invariant violations, sweep
+	// cancellation — are never retried: re-running a deterministic
+	// simulation reproduces them exactly. Zero means no retries.
+	PointRetries int
 }
 
 // DeadlockMode selects how dimension-ordered routing on a torus is kept

@@ -2,10 +2,13 @@ package orion
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"orion/internal/core"
 	"orion/internal/power"
@@ -524,12 +527,55 @@ func SweepContext(ctx context.Context, cfg Config, rates []float64) ([]*Result, 
 	return results, nil
 }
 
-// runPoint runs one sweep point, converting panics to errors and applying
-// the per-point deadline.
-func runPoint(ctx context.Context, cfg Config, rate float64) (res *Result, err error) {
+// errPointPanic marks a sweep point whose worker panicked — a transient
+// classification for retry purposes (unexported: callers see the message).
+var errPointPanic = errors.New("panicked")
+
+// runPoint runs one sweep point, converting panics to errors, applying
+// the per-point deadline, and retrying transient failures up to
+// SimConfig.PointRetries times with jittered backoff. Only failures that
+// could plausibly differ on a re-run are retried: a worker panic or a
+// PointTimeout deadline (the sweep's own context still being alive).
+// Deterministic failures — saturation, deadlock, invariant violations —
+// and sweep cancellation stick on the first occurrence.
+func runPoint(ctx context.Context, cfg Config, rate float64) (*Result, error) {
+	res, err := runPointOnce(ctx, cfg, rate)
+	for attempt := 1; err != nil && attempt <= cfg.Sim.PointRetries; attempt++ {
+		if ctx.Err() != nil {
+			break
+		}
+		if !errors.Is(err, errPointPanic) && !errors.Is(err, context.DeadlineExceeded) {
+			break
+		}
+		if !pointBackoff(ctx, attempt, rate) {
+			break
+		}
+		res, err = runPointOnce(ctx, cfg, rate)
+	}
+	return res, err
+}
+
+// pointBackoff sleeps before a retry: attempt-scaled with deterministic
+// per-rate jitter (derived from the rate bits, so identical sweeps back
+// off identically) to decorrelate retries across a failing pool. It
+// returns false if the sweep was cancelled while waiting.
+func pointBackoff(ctx context.Context, attempt int, rate float64) bool {
+	jitterMs := 50 + (math.Float64bits(rate)*0x9e3779b97f4a7c15)>>56%100
+	t := time.NewTimer(time.Duration(attempt) * time.Duration(jitterMs) * time.Millisecond)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// runPointOnce is a single attempt at a sweep point.
+func runPointOnce(ctx context.Context, cfg Config, rate float64) (res *Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			res, err = nil, fmt.Errorf("orion: sweep point rate %g panicked: %v", rate, r)
+			res, err = nil, fmt.Errorf("orion: sweep point rate %g %w: %v", rate, errPointPanic, r)
 		}
 	}()
 	if cfg.Sim.PointTimeout > 0 {

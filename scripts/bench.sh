@@ -3,9 +3,11 @@
 #
 # Runs the micro-benchmarks guarding the event hot path (Bus.Publish, the
 # router tick, the full Figure-5 VC64 run and the simulator speed figure)
-# and writes one JSON document with ns/op, B/op, allocs/op and the custom
-# metrics (sim-cycles/sec, latency, power) per benchmark, plus enough
-# environment metadata to compare runs across machines.
+# plus the checkpointing overhead pair (run with snapshots disabled vs a
+# snapshot every 1000 cycles) and writes one JSON document with ns/op,
+# B/op, allocs/op and the custom metrics (sim-cycles/sec, latency, power)
+# per benchmark, plus enough environment metadata to compare runs across
+# machines.
 #
 # Usage:
 #   scripts/bench.sh [output.json]      # default output: BENCH_hotpath.json
@@ -21,7 +23,7 @@ trap 'rm -f "$RAW"' EXIT
 {
     go test ./internal/sim -run '^$' -bench 'BenchmarkBusPublish' -benchtime "$BENCHTIME" -benchmem
     go test ./internal/router -run '^$' -bench 'BenchmarkRouterTick' -benchtime "$BENCHTIME" -benchmem
-    go test . -run '^$' -bench 'BenchmarkFig5VC64$|BenchmarkSimulatorSpeed$' -benchtime "$BENCHTIME" -benchmem
+    go test . -run '^$' -bench 'BenchmarkFig5VC64$|BenchmarkSimulatorSpeed$|BenchmarkRunNoSnapshot$|BenchmarkRunSnapshotEvery1k$' -benchtime "$BENCHTIME" -benchmem
 } | tee "$RAW"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
