@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race fuzz-smoke bench-smoke bench ci
+.PHONY: build vet test race race-workers fuzz-smoke bench-smoke bench bench-compare ci
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,12 @@ test:
 
 race:
 	ORION_INVARIANTS=1 $(GO) test -race ./...
+
+# Same race run with the parallel tick kernel forced on (4 workers) so
+# the sharded event path, ordered ring phase and merge are exercised by
+# every golden/determinism test, not just the dedicated parallel ones.
+race-workers:
+	ORION_INVARIANTS=1 ORION_WORKERS=4 $(GO) test -race ./...
 
 # Short fuzz pass over every parser that accepts external input (config
 # JSON, fault specs, trace files); CI runs the same three targets.
@@ -34,4 +40,9 @@ bench-smoke:
 bench:
 	scripts/bench.sh
 
-ci: build vet race bench-smoke fuzz-smoke
+# Regression gate: fresh bench run vs the committed BENCH_hotpath.json;
+# fails on >15% ns/op slowdown (override with BENCH_TOLERANCE_PCT).
+bench-compare:
+	scripts/bench_compare.sh
+
+ci: build vet race race-workers bench-smoke fuzz-smoke

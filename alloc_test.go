@@ -1,0 +1,45 @@
+package orion
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestRunAllocationBudget pins the whole-run allocation cost of the
+// Figure-5 VC64 configuration (build + warm-up + 2000-sample measurement).
+// The packet free list recycles a retired packet's record, flit structs
+// and payload backing into the next generation, which cut a full run from
+// ~32,700 allocations / 3.7 MB to ~18,700 / 1.6 MB; the budgets below sit
+// ~30% above the measured cost so incidental churn passes but a
+// reintroduced per-packet or per-cycle allocation path fails loudly.
+func TestRunAllocationBudget(t *testing.T) {
+	const (
+		maxAllocs = 25_000
+		maxBytes  = 2_200_000
+	)
+	cfg := OnChip4x4(VC64(), 0.10)
+	cfg.Sim.SamplePackets = benchSamples
+	// The invariant checker is auto-enabled under `go test` and keeps its
+	// own per-packet ledger; this test measures the production path.
+	cfg.CheckInvariants = InvariantOff
+
+	run := func() {
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the runtime (lazy init, map growth in the scheduler)
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	run()
+	runtime.ReadMemStats(&after)
+
+	if allocs := after.Mallocs - before.Mallocs; allocs > maxAllocs {
+		t.Errorf("full run allocated %d objects, budget %d", allocs, maxAllocs)
+	}
+	if bytes := after.TotalAlloc - before.TotalAlloc; bytes > maxBytes {
+		t.Errorf("full run allocated %d heap bytes, budget %d", bytes, maxBytes)
+	}
+}

@@ -66,6 +66,22 @@ func BenchmarkFig5VC16(b *testing.B)  { benchFig5(b, VC16(), 0.10) }
 func BenchmarkFig5VC64(b *testing.B)  { benchFig5(b, VC64(), 0.10) }
 func BenchmarkFig5VC128(b *testing.B) { benchFig5(b, VC128(), 0.10) }
 
+// Worker-count scaling of the parallel tick kernel on the Fig5 VC64
+// configuration (results are bit-identical at every count — see
+// TestParallelWorkerCountInvariance — so this measures pure speedup).
+// Workers beyond GOMAXPROCS just contend; read these against the core
+// count of the bench machine.
+func benchFig5VC64Workers(b *testing.B, workers int) {
+	cfg := OnChip4x4(VC64(), 0.10)
+	cfg.Sim.Workers = workers
+	benchRun(b, cfg)
+}
+
+func BenchmarkFig5VC64Workers1(b *testing.B) { benchFig5VC64Workers(b, 1) }
+func BenchmarkFig5VC64Workers2(b *testing.B) { benchFig5VC64Workers(b, 2) }
+func BenchmarkFig5VC64Workers4(b *testing.B) { benchFig5VC64Workers(b, 4) }
+func BenchmarkFig5VC64Workers8(b *testing.B) { benchFig5VC64Workers(b, 8) }
+
 // BenchmarkFig5cBreakdown reports VC64's component power split (buffers
 // and crossbar dominant, arbiter under 1%, links under ~16%).
 func BenchmarkFig5cBreakdown(b *testing.B) {

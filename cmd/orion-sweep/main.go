@@ -64,6 +64,8 @@ var (
 	journalPath = flag.String("journal", "", "write-ahead results journal (JSON lines), fsynced per completed point")
 	resumeJrnl  = flag.Bool("resume", false, "resume from an existing -journal, skipping completed points")
 	retries     = flag.Int("retries", 1, "retries per transiently-failed point (journaled sweeps; panic or point timeout only)")
+	workers     = flag.Int("workers", 0,
+		"parallel tick workers per point (0 = 1: the sweep already runs points on all cores; results are identical at any count)")
 )
 
 func fail(format string, args ...any) {
@@ -146,6 +148,7 @@ func run() (status int) {
 	cfg.Sim.SamplePackets = *samples
 	cfg.Traffic.Seed = *seed
 	cfg.Sim.PointTimeout = *pointTmo
+	cfg.Sim.Workers = *workers
 	switch *invariants {
 	case "auto":
 		cfg.CheckInvariants = orion.InvariantAuto

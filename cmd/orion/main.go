@@ -74,6 +74,8 @@ var (
 
 	samples = flag.Int("samples", 10000, "measured sample packets")
 	warmup  = flag.Int64("warmup", 1000, "warm-up cycles")
+	workers = flag.Int("workers", 0,
+		"parallel tick workers (0 = ORION_WORKERS env or all cores; capped at half the node count; results are identical at any count)")
 
 	showMap  = flag.Bool("map", true, "print the per-node power map")
 	deadlock = flag.String("deadlock", "bubble", "torus deadlock avoidance: bubble, dateline, none")
@@ -195,6 +197,9 @@ func run() int {
 	}
 	if *profileWin > 0 {
 		cfg.Sim.ProfileWindowCycles = *profileWin
+	}
+	if *workers != 0 {
+		cfg.Sim.Workers = *workers
 	}
 	applyFaultFlags(&cfg)
 	if *dumpConfig {

@@ -6,6 +6,9 @@ package core
 
 import (
 	"fmt"
+	"os"
+	"runtime"
+	"strconv"
 
 	"orion/internal/fault"
 	"orion/internal/power"
@@ -93,6 +96,41 @@ type Config struct {
 	// ProgressWindow aborts when no flit is delivered for this many
 	// cycles while sample packets are outstanding (deadlock detector).
 	ProgressWindow int64
+
+	// Workers is the parallel tick worker count. 0 resolves to the
+	// ORION_WORKERS environment variable if set, else GOMAXPROCS; the
+	// result is capped at half the node count (tiny networks fall back
+	// to the sequential engine) and forced to 1 when fault injection is
+	// configured (faults mutate shared network state mid-tick). Results
+	// are bit-identical at every worker count — Workers is an execution
+	// detail, excluded from config digests and snapshots.
+	Workers int
+}
+
+// effectiveWorkers resolves Workers against the environment, the machine
+// and the network size. See the Workers field for the policy.
+func (c Config) effectiveWorkers(nodes int) int {
+	w := c.Workers
+	if w == 0 {
+		if s := os.Getenv("ORION_WORKERS"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				w = v
+			}
+		}
+	}
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if c.Faults != nil {
+		w = 1
+	}
+	if limit := nodes / 2; w > limit {
+		w = limit
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // DeadlockMode selects how dimension-ordered routing on a torus is kept

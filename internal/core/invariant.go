@@ -94,12 +94,21 @@ type Checker struct {
 	ejected  int64 // flits consumed by sinks
 	dropped  int64 // flits discarded by fault injection
 
-	err *InvariantError
+	// errs holds the first violation per error slot: one slot per shard
+	// bus (written only by that shard's goroutine under the parallel
+	// engine) plus a final slot for the sequential network hooks
+	// (OnInject/OnEject/OnDrop/CheckConservation). Err merges the slots
+	// deterministically, so the reported violation is independent of
+	// worker scheduling.
+	errs []*InvariantError
 }
 
 // NewChecker builds a checker for a network with the given shape and
-// subscribes it to the bus. cbCap is zero for crossbar routers.
-func NewChecker(bus *sim.Bus, nodes int, rcfg router.Config) *Checker {
+// subscribes it to every shard bus. Node-indexed occupancy state is
+// disjoint across shards (a node's events are published only on its own
+// shard's bus), so the checker needs no locking — only the per-slot error
+// discipline above. cbCap is zero for crossbar routers.
+func NewChecker(buses []*sim.Bus, nodes int, rcfg router.Config) *Checker {
 	c := &Checker{
 		nodes:    nodes,
 		ports:    rcfg.Ports,
@@ -108,6 +117,7 @@ func NewChecker(bus *sim.Bus, nodes int, rcfg router.Config) *Checker {
 		occ:      make([][]int, nodes),
 		cbOcc:    make([]int, nodes),
 		packets:  make(map[int64]*pktLedger),
+		errs:     make([]*InvariantError, len(buses)+1),
 	}
 	if rcfg.Kind == router.CentralBuffered {
 		c.cbCap = rcfg.CBBanks * rcfg.CBRows
@@ -115,36 +125,65 @@ func NewChecker(bus *sim.Bus, nodes int, rcfg router.Config) *Checker {
 	for n := range c.occ {
 		c.occ[n] = make([]int, rcfg.Ports*rcfg.VCs)
 	}
-	bus.Subscribe(c.onEvent)
+	for slot, bus := range buses {
+		slot := slot
+		bus.Subscribe(func(e *sim.Event) { c.onEvent(slot, e) })
+	}
 	return c
 }
 
-// Err returns the first violation observed, or nil.
+// hookSlot is the error slot of the sequential network hooks.
+func (c *Checker) hookSlot() int { return len(c.errs) - 1 }
+
+// Err returns the run's first violation, or nil. With several slots
+// failed, "first" is chosen deterministically to match the sequential
+// engine's event order: lowest cycle wins; within a cycle, event-slot
+// errors beat hook-slot errors (all bus events of a cycle precede the
+// sink-phase hooks), and among event slots the lowest node wins (modules
+// tick in ascending node order, and each shard observes its own nodes'
+// events in order).
 func (c *Checker) Err() error {
-	if c == nil || c.err == nil {
+	if c == nil {
 		return nil
 	}
-	return c.err
+	var best *InvariantError
+	bestHook := false
+	for slot, e := range c.errs {
+		if e == nil {
+			continue
+		}
+		hook := slot == c.hookSlot()
+		if best == nil || e.Cycle < best.Cycle ||
+			(e.Cycle == best.Cycle && bestHook && !hook) ||
+			(e.Cycle == best.Cycle && hook == bestHook && e.Node >= 0 && best.Node >= 0 && e.Node < best.Node) {
+			best, bestHook = e, hook
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return best
 }
 
-// fail records the first violation; later ones are dropped (the first is
-// the root cause, everything after is fallout).
-func (c *Checker) fail(e *InvariantError) {
-	if c.err == nil {
-		c.err = e
+// fail records a slot's first violation; later ones are dropped (the
+// first is the root cause, everything after is fallout).
+func (c *Checker) fail(slot int, e *InvariantError) {
+	if c.errs[slot] == nil {
+		c.errs[slot] = e
 	}
 }
 
-// onEvent reconstructs buffer occupancies from the event stream.
-func (c *Checker) onEvent(e *sim.Event) {
-	if c.err != nil {
+// onEvent reconstructs buffer occupancies from the event stream of one
+// shard bus.
+func (c *Checker) onEvent(slot int, e *sim.Event) {
+	if c.errs[slot] != nil {
 		return
 	}
 	switch e.Type {
 	case sim.EvBufferWrite, sim.EvBufferRead:
 		if e.Node < 0 || e.Node >= c.nodes || e.Port < 0 || e.Port >= c.ports ||
 			e.VC < 0 || e.VC >= c.vcs {
-			c.fail(&InvariantError{
+			c.fail(slot, &InvariantError{
 				Invariant: "buffer-occupancy", Cycle: e.Cycle,
 				Node: e.Node, Port: e.Port, VC: e.VC, Component: "input buffer",
 				Detail: fmt.Sprintf("%s event outside network shape (%d nodes, %d ports, %d VCs)",
@@ -152,20 +191,20 @@ func (c *Checker) onEvent(e *sim.Event) {
 			})
 			return
 		}
-		slot := &c.occ[e.Node][e.Port*c.vcs+e.VC]
+		occ := &c.occ[e.Node][e.Port*c.vcs+e.VC]
 		if e.Type == sim.EvBufferWrite {
-			*slot++
-			if *slot > c.bufDepth {
-				c.fail(&InvariantError{
+			*occ++
+			if *occ > c.bufDepth {
+				c.fail(slot, &InvariantError{
 					Invariant: "buffer-occupancy", Cycle: e.Cycle,
 					Node: e.Node, Port: e.Port, VC: e.VC, Component: "input buffer",
-					Detail: fmt.Sprintf("occupancy %d exceeds depth %d (flow-control credit double-spend)", *slot, c.bufDepth),
+					Detail: fmt.Sprintf("occupancy %d exceeds depth %d (flow-control credit double-spend)", *occ, c.bufDepth),
 				})
 			}
 		} else {
-			*slot--
-			if *slot < 0 {
-				c.fail(&InvariantError{
+			*occ--
+			if *occ < 0 {
+				c.fail(slot, &InvariantError{
 					Invariant: "buffer-occupancy", Cycle: e.Cycle,
 					Node: e.Node, Port: e.Port, VC: e.VC, Component: "input buffer",
 					Detail: "read from empty buffer",
@@ -176,20 +215,20 @@ func (c *Checker) onEvent(e *sim.Event) {
 		if e.Node < 0 || e.Node >= c.nodes {
 			return
 		}
-		slot := &c.cbOcc[e.Node]
+		occ := &c.cbOcc[e.Node]
 		if e.Type == sim.EvCentralBufWrite {
-			*slot++
-			if c.cbCap > 0 && *slot > c.cbCap {
-				c.fail(&InvariantError{
+			*occ++
+			if c.cbCap > 0 && *occ > c.cbCap {
+				c.fail(slot, &InvariantError{
 					Invariant: "buffer-occupancy", Cycle: e.Cycle,
 					Node: e.Node, Port: -1, VC: -1, Component: "central buffer",
-					Detail: fmt.Sprintf("occupancy %d exceeds capacity %d", *slot, c.cbCap),
+					Detail: fmt.Sprintf("occupancy %d exceeds capacity %d", *occ, c.cbCap),
 				})
 			}
 		} else {
-			*slot--
-			if *slot < 0 {
-				c.fail(&InvariantError{
+			*occ--
+			if *occ < 0 {
+				c.fail(slot, &InvariantError{
 					Invariant: "buffer-occupancy", Cycle: e.Cycle,
 					Node: e.Node, Port: -1, VC: -1, Component: "central buffer",
 					Detail: "read from empty central buffer",
@@ -211,7 +250,7 @@ func (c *Checker) OnInject(p *flit.Packet) {
 
 // OnEject verifies one ejected flit against its packet's ledger.
 func (c *Checker) OnEject(f *flit.Flit, cycle int64) {
-	if c == nil || c.err != nil {
+	if c == nil || c.errs[c.hookSlot()] != nil {
 		return
 	}
 	c.ejected++
@@ -220,7 +259,7 @@ func (c *Checker) OnEject(f *flit.Flit, cycle int64) {
 		node = f.Packet.Dst
 	}
 	if f.Packet == nil {
-		c.fail(&InvariantError{
+		c.fail(c.hookSlot(), &InvariantError{
 			Invariant: "unknown-packet", Cycle: cycle, Node: node,
 			Port: -1, VC: -1, Component: "sink",
 			Detail: fmt.Sprintf("ejected flit %v has no packet record", f),
@@ -229,7 +268,7 @@ func (c *Checker) OnEject(f *flit.Flit, cycle int64) {
 	}
 	led, ok := c.packets[f.Packet.ID]
 	if !ok {
-		c.fail(&InvariantError{
+		c.fail(c.hookSlot(), &InvariantError{
 			Invariant: "unknown-packet", Cycle: cycle, Node: node,
 			Port: -1, VC: -1, Component: "sink",
 			Detail: fmt.Sprintf("packet %d was never injected", f.Packet.ID),
@@ -237,7 +276,7 @@ func (c *Checker) OnEject(f *flit.Flit, cycle int64) {
 		return
 	}
 	if led.delivered >= led.length {
-		c.fail(&InvariantError{
+		c.fail(c.hookSlot(), &InvariantError{
 			Invariant: "over-delivery", Cycle: cycle, Node: node,
 			Port: -1, VC: -1, Component: "sink",
 			Detail: fmt.Sprintf("packet %d delivered %d flits of length %d and then %v arrived again (duplicated flit)",
@@ -246,7 +285,7 @@ func (c *Checker) OnEject(f *flit.Flit, cycle int64) {
 		return
 	}
 	if f.Seq != led.delivered {
-		c.fail(&InvariantError{
+		c.fail(c.hookSlot(), &InvariantError{
 			Invariant: "monotonic-delivery", Cycle: cycle, Node: node,
 			Port: -1, VC: -1, Component: "sink",
 			Detail: fmt.Sprintf("packet %d flit seq %d arrived out of order (expected seq %d)",
@@ -255,7 +294,7 @@ func (c *Checker) OnEject(f *flit.Flit, cycle int64) {
 		return
 	}
 	if f.Hop != len(f.Packet.Route)-1 {
-		c.fail(&InvariantError{
+		c.fail(c.hookSlot(), &InvariantError{
 			Invariant: "hop-limit", Cycle: cycle, Node: node,
 			Port: -1, VC: -1, Component: "sink",
 			Detail: fmt.Sprintf("flit %v ejected after %d hops, route has %d",
@@ -271,7 +310,7 @@ func (c *Checker) OnEject(f *flit.Flit, cycle int64) {
 
 // OnDrop accounts a flit discarded by fault injection.
 func (c *Checker) OnDrop(f *flit.Flit, cycle int64) {
-	if c == nil || c.err != nil {
+	if c == nil || c.errs[c.hookSlot()] != nil {
 		return
 	}
 	c.dropped++
@@ -280,7 +319,7 @@ func (c *Checker) OnDrop(f *flit.Flit, cycle int64) {
 	}
 	led, ok := c.packets[f.Packet.ID]
 	if !ok {
-		c.fail(&InvariantError{
+		c.fail(c.hookSlot(), &InvariantError{
 			Invariant: "unknown-packet", Cycle: cycle, Node: f.Packet.Src,
 			Port: -1, VC: -1, Component: "network",
 			Detail: fmt.Sprintf("dropped packet %d was never injected", f.Packet.ID),
@@ -289,7 +328,7 @@ func (c *Checker) OnDrop(f *flit.Flit, cycle int64) {
 	}
 	led.dropped++
 	if led.delivered+led.dropped > led.length {
-		c.fail(&InvariantError{
+		c.fail(c.hookSlot(), &InvariantError{
 			Invariant: "over-delivery", Cycle: cycle, Node: f.Packet.Src,
 			Port: -1, VC: -1, Component: "network",
 			Detail: fmt.Sprintf("packet %d retired %d flits of length %d",
@@ -308,13 +347,13 @@ func (c *Checker) OnDrop(f *flit.Flit, cycle int64) {
 // of the network's Snapshot; wireCap bounds the flits wires can hold (one
 // per data wire).
 func (c *Checker) CheckConservation(cycle int64, sourceQueued, buffered int, wireCap int) {
-	if c == nil || c.err != nil {
+	if c == nil || c.errs[c.hookSlot()] != nil {
 		return
 	}
 	outstanding := c.injected - c.ejected - c.dropped
 	inFlight := outstanding - int64(sourceQueued) - int64(buffered)
 	if inFlight < 0 || inFlight > int64(wireCap) {
-		c.fail(&InvariantError{
+		c.fail(c.hookSlot(), &InvariantError{
 			Invariant: "flit-conservation", Cycle: cycle, Node: -1,
 			Port: -1, VC: -1, Component: "network",
 			Detail: fmt.Sprintf("injected %d = ejected %d + dropped %d + source-queued %d + buffered %d + in-flight %d, but in-flight must be within [0,%d]",

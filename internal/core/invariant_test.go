@@ -11,7 +11,7 @@ import (
 )
 
 func testChecker() *Checker {
-	return NewChecker(&sim.Bus{}, 4, router.Config{Ports: 5, VCs: 2, BufferDepth: 4})
+	return NewChecker([]*sim.Bus{{}}, 4, router.Config{Ports: 5, VCs: 2, BufferDepth: 4})
 }
 
 func mkPacket(id int64, length int) *flit.Packet {
@@ -123,7 +123,7 @@ func TestCheckerHopLimit(t *testing.T) {
 
 func TestCheckerBufferOccupancyBounds(t *testing.T) {
 	bus := &sim.Bus{}
-	c := NewChecker(bus, 2, router.Config{Ports: 5, VCs: 1, BufferDepth: 2})
+	c := NewChecker([]*sim.Bus{bus}, 2, router.Config{Ports: 5, VCs: 1, BufferDepth: 2})
 	ev := func(ty sim.EventType, node, port int) {
 		bus.Publish(sim.Event{Type: ty, Cycle: 1, Node: node, Port: port, VC: 0})
 	}
@@ -144,7 +144,7 @@ func TestCheckerBufferOccupancyBounds(t *testing.T) {
 
 func TestCheckerUnderflow(t *testing.T) {
 	bus := &sim.Bus{}
-	c := NewChecker(bus, 1, router.Config{Ports: 5, VCs: 1, BufferDepth: 2})
+	c := NewChecker([]*sim.Bus{bus}, 1, router.Config{Ports: 5, VCs: 1, BufferDepth: 2})
 	bus.Publish(sim.Event{Type: sim.EvBufferRead, Cycle: 3, Node: 0, Port: 0, VC: 0})
 	var ie *InvariantError
 	if !errors.As(c.Err(), &ie) || ie.Invariant != "buffer-occupancy" {

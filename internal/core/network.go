@@ -17,8 +17,15 @@ import (
 type Network struct {
 	cfg Config
 
-	engine  *sim.Engine
-	bus     *sim.Bus
+	engine *sim.Engine
+	// buses are the event buses, one per tick worker. Sequential runs have
+	// exactly one; parallel runs give each shard its own so the hot path
+	// stays lock-free, and merge the per-bus counters at measurement
+	// boundaries (eventCounts). A component's events always go to its own
+	// node's shard bus, so per-component state behind the subscribers is
+	// never shared across workers.
+	buses   []*sim.Bus
+	workers int
 	meter   *stats.Meter
 	account *stats.EnergyAccount
 	gen     *traffic.Generator
@@ -91,8 +98,22 @@ func Build(cfg Config) (*Network, error) {
 	topo := cfg.Topology
 	nodes := topo.Nodes()
 
-	bus := &sim.Bus{}
-	engine := sim.NewEngine(bus)
+	// Worker count and shard map. Node node's modules tick on worker
+	// shardOf(node) and publish on buses[shardOf(node)]; shards are
+	// contiguous node ranges so the merge order is fixed. workers == 1 is
+	// the plain sequential engine with a single bus.
+	workers := cfg.effectiveWorkers(nodes)
+	shardOf := func(node int) int { return node * workers / nodes }
+	buses := make([]*sim.Bus, workers)
+	for i := range buses {
+		buses[i] = &sim.Bus{}
+	}
+	busFor := func(node int) *sim.Bus { return buses[shardOf(node)] }
+
+	engine := sim.NewEngine(buses[0])
+	if workers > 1 {
+		engine.SetParallel(workers)
+	}
 	account := stats.NewEnergyAccount(nodes)
 	meter := stats.NewMeter(account)
 	meter.SetFixedActivity(cfg.FixedActivity)
@@ -100,7 +121,8 @@ func Build(cfg Config) (*Network, error) {
 	n := &Network{
 		cfg:       cfg,
 		engine:    engine,
-		bus:       bus,
+		buses:     buses,
+		workers:   workers,
 		meter:     meter,
 		account:   account,
 		routers:   make([]router.Router, nodes),
@@ -135,7 +157,7 @@ func Build(cfg Config) (*Network, error) {
 		// the same order either way (the checker never mutates events, so
 		// order is immaterial to results — this just keeps diagnostics
 		// ahead of energy accounting on the failing event).
-		n.checker = NewChecker(bus, nodes, rcfg)
+		n.checker = NewChecker(buses, nodes, rcfg)
 	}
 
 	for node := 0; node < nodes; node++ {
@@ -144,9 +166,9 @@ func Build(cfg Config) (*Network, error) {
 			err error
 		)
 		if rcfg.Kind == router.CentralBuffered {
-			r, err = router.NewCB(node, rcfg, bus)
+			r, err = router.NewCB(node, rcfg, busFor(node))
 		} else {
-			r, err = router.NewXB(node, rcfg, bus)
+			r, err = router.NewXB(node, rcfg, busFor(node))
 		}
 		if err != nil {
 			return nil, err
@@ -180,35 +202,81 @@ func Build(cfg Config) (*Network, error) {
 	if err := n.registerPowerModels(); err != nil {
 		return nil, err
 	}
-	// Hook the meter to the bus only after every component is registered:
-	// the default fast path freezes the registration maps into flat
-	// per-event-type tables (stats.Meter.Attach); the reference path keeps
-	// the map-based listener for cross-validation.
-	if cfg.ReferenceEventPath {
-		meter.AttachReference(bus)
-	} else {
-		meter.Attach(bus)
+	// Hook the meter to every shard bus only after every component is
+	// registered: the default fast path freezes the registration maps into
+	// flat per-event-type tables (stats.Meter.Attach); the reference path
+	// keeps the map-based listener for cross-validation. The frozen tables
+	// reference the same per-component power states on every bus, but each
+	// component's events arrive only on its own node's shard bus, so no
+	// state is touched from two workers.
+	for _, b := range buses {
+		if cfg.ReferenceEventPath {
+			meter.AttachReference(b)
+		} else {
+			meter.Attach(b)
+		}
 	}
 
 	gen, err := traffic.NewGenerator(cfg.Traffic, topo)
 	if err != nil {
 		return nil, err
 	}
+	// Recycle retired packets through the generator's free list: a tail
+	// ejection retires the whole packet (flits deliver in order), so
+	// after onEject's observers run nothing references its allocations.
+	// Fault injection breaks that ownership rule — drops retire packets
+	// away from the sink — so it keeps the plain allocator.
+	gen.SetRecycling(cfg.Faults == nil)
 	n.gen = gen
 
 	// Registration order: sources, routers, sinks (order does not affect
 	// results — all cross-module communication is through one-cycle
 	// wires).
-	for node := 0; node < nodes; node++ {
-		engine.Register(n.sources[node])
-	}
-	for node := 0; node < nodes; node++ {
-		engine.Register(n.routers[node])
+	//
+	// Parallel mode shards sources and routers by node onto the worker
+	// pool (a node's modules mutate only that node's state and publish
+	// only on its shard bus). Bubble-ring VC routers additionally defer
+	// their shared-Ring updates and VC allocation to the ordered phase,
+	// which replays them on one goroutine in node order — the exact
+	// global ring-op order of the sequential engine. Sinks stay in the
+	// sequential phase: they drive Network-level callbacks (sampler,
+	// checker ledger, flow counters) that are shared across nodes.
+	if workers > 1 {
+		for node := 0; node < nodes; node++ {
+			engine.RegisterSharded(shardOf(node), n.sources[node])
+		}
+		for node := 0; node < nodes; node++ {
+			engine.RegisterSharded(shardOf(node), n.routers[node])
+		}
+		if rcfg.Kind == router.VirtualChannel && rcfg.Bubble {
+			for node := 0; node < nodes; node++ {
+				xb := n.routers[node].(*router.XBRouter)
+				xb.SetDeferredRings(true)
+				engine.RegisterOrdered(xb)
+			}
+		}
+	} else {
+		for node := 0; node < nodes; node++ {
+			engine.Register(n.sources[node])
+		}
+		for node := 0; node < nodes; node++ {
+			engine.Register(n.routers[node])
+		}
 	}
 	for node := 0; node < nodes; node++ {
 		engine.Register(n.sinks[node])
 	}
 	return n, nil
+}
+
+// Workers returns the resolved tick worker count (1 means the sequential
+// engine).
+func (n *Network) Workers() int { return n.workers }
+
+// eventCounts merges the per-shard bus counters into the single table a
+// sequential run would have produced (see stats.MergeCounts).
+func (n *Network) eventCounts() [sim.NumEventTypes]int64 {
+	return stats.MergeCounts(n.buses)
 }
 
 // wire creates all data and credit wires: one pair per directed
@@ -375,6 +443,12 @@ func (n *Network) onEject(f *flit.Flit, cycle int64) {
 	if f.Kind.IsTail() && f.Packet != nil && f.Packet.Sample {
 		n.sampler.RecordPacket(f.Packet.CreatedAt, cycle, f.Packet.Length)
 		n.sampleReceived++
+	}
+	// The tail flit is the packet's last observable moment: recycle its
+	// allocations only after every observer above has run. No-op unless
+	// the generator's free list is enabled.
+	if f.Kind.IsTail() {
+		n.gen.Recycle(f.Packet)
 	}
 }
 

@@ -139,7 +139,7 @@ func (n *Network) beginMeasurement() {
 	n.run.measuring = true
 	n.run.measureStart = n.engine.Cycle()
 	n.lastDeliveryCycle = n.run.measureStart
-	n.run.counts0 = n.bus.Snapshot()
+	n.run.counts0 = n.eventCounts()
 
 	n.run.hasTrace = cfg.Trace != nil
 	n.run.target = cfg.SamplePackets
@@ -298,7 +298,7 @@ func (n *Network) finalize() (*Result, error) {
 		StaticPowerW:    pb.StaticTotal(),
 		EnergyJ:         n.account.Total(),
 	}
-	countsAtEnd := n.bus.Snapshot()
+	countsAtEnd := n.eventCounts()
 	for i := range res.EventCounts {
 		res.EventCounts[i] = countsAtEnd[i] - countsAtStart[i]
 	}

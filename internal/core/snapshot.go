@@ -127,7 +127,7 @@ func (n *Network) CaptureState(configDigest []byte) (*snap.Snapshot, error) {
 
 	// events: cumulative bus counts by type.
 	ev := &snap.Encoder{}
-	counts := n.bus.Snapshot()
+	counts := n.eventCounts()
 	for _, c := range counts {
 		ev.I64(c)
 	}

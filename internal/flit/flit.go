@@ -71,6 +71,11 @@ type Packet struct {
 	CreatedAt int64
 	// Sample marks packets belonging to the measurement sample.
 	Sample bool
+	// Buf is an opaque recycling handle owned by whatever allocated the
+	// packet (the traffic generator's free list). Simulator components
+	// must neither read nor write it; it is excluded from snapshots and
+	// carries no simulated state.
+	Buf any
 }
 
 // Flit is one flow-control unit of a packet.

@@ -117,6 +117,13 @@ type XBRouter struct {
 	inRings  [][]*ringRef
 	outRings [][]*ringRef
 
+	// Deferred-ring mode (parallel engine): switch traversal stages its
+	// ring occupancy updates in ringOps instead of applying them, and
+	// the allocation stages that read shared ring state move to
+	// TickOrdered. See SetDeferredRings.
+	deferRings bool
+	ringOps    []ringOp
+
 	// Output bandwidth governors (e.g. DVS link controllers) and the
 	// next cycle each output may send.
 	govs    []OutputGovernor
@@ -273,6 +280,18 @@ func (r *XBRouter) Tick(cycle int64) error {
 	if err := r.switchTraversal(cycle); err != nil {
 		return err
 	}
+	if r.deferRings {
+		// Parallel engine: VC allocation reads shared ring occupancy,
+		// so it runs in TickOrdered. The speculative pipeline's switch
+		// allocation consumes this cycle's VC grants and moves with it;
+		// the non-speculative one reads only router-local credits and
+		// stays in the parallel phase, preserving the sequential
+		// per-node stage (and event) order.
+		if r.cfg.Speculative {
+			return nil
+		}
+		return r.switchAllocation(cycle)
+	}
 	if r.cfg.Kind == VirtualChannel && r.cfg.Speculative {
 		// Speculative pipeline [15]: VC allocation resolves before
 		// switch allocation within the cycle, so a fresh head can win
@@ -285,6 +304,61 @@ func (r *XBRouter) Tick(cycle int64) error {
 	}
 	if r.cfg.Kind == VirtualChannel {
 		r.vcAllocation(cycle)
+	}
+	return nil
+}
+
+// ringOp is a ring occupancy update staged by switch traversal in
+// deferred-ring mode, applied at the head of TickOrdered.
+type ringOp struct {
+	ref   *ringRef
+	delta int
+}
+
+// SetDeferredRings switches the router into the parallel engine's
+// two-phase tick: Tick (parallel phase) stages its ring occupancy
+// updates instead of applying them, and TickOrdered — which the engine
+// runs on one goroutine, in ascending node order, after every router's
+// Tick — applies them and runs VC allocation. Because each router's
+// staged releases are applied immediately before its own VC allocation,
+// the global order of ring reads and writes is exactly the sequential
+// engine's (router i's switch-traversal releases, then router i's VC
+// allocation, for i ascending), so results are bit-identical. Only
+// meaningful for virtual-channel routers under bubble flow control; other
+// configurations never share state between routers mid-cycle.
+func (r *XBRouter) SetDeferredRings(on bool) {
+	r.deferRings = on
+	if on && r.ringOps == nil {
+		r.ringOps = make([]ringOp, 0, 2*r.cfg.Ports)
+	}
+}
+
+// ringAdd applies a ring occupancy update, or stages it when the router
+// is in deferred-ring mode.
+func (r *XBRouter) ringAdd(ref *ringRef, delta int) {
+	if r.deferRings {
+		r.ringOps = append(r.ringOps, ringOp{ref, delta})
+		return
+	}
+	ref.ring.Add(ref.idx, delta)
+}
+
+// TickOrdered implements sim.OrderedTicker for deferred-ring mode: apply
+// the staged ring updates, then run the allocation stages that read
+// shared ring state. Outside deferred-ring mode it is never registered
+// and does nothing.
+func (r *XBRouter) TickOrdered(cycle int64) error {
+	for i := range r.ringOps {
+		op := r.ringOps[i]
+		op.ref.ring.Add(op.ref.idx, op.delta)
+	}
+	r.ringOps = r.ringOps[:0]
+	if !r.deferRings || r.cfg.Kind != VirtualChannel {
+		return nil
+	}
+	r.vcAllocation(cycle)
+	if r.cfg.Speculative {
+		return r.switchAllocation(cycle)
 	}
 	return nil
 }
@@ -369,7 +443,7 @@ func (r *XBRouter) switchTraversal(cycle int64) error {
 		}
 		ivc.pendingST = false
 		if ref := r.inRings[g.inPort][g.inVC]; ref != nil {
-			ref.ring.Add(ref.idx, -1)
+			r.ringAdd(ref, -1)
 		}
 		r.bus.Publish(sim.Event{
 			Type: sim.EvBufferRead, Cycle: cycle, Node: r.node,
@@ -404,7 +478,7 @@ func (r *XBRouter) switchTraversal(cycle int64) error {
 				ovc.credits++
 			}
 			if ref := r.outRings[g.outPort][g.outVC]; ref != nil {
-				ref.ring.Add(ref.idx, -1)
+				r.ringAdd(ref, -1)
 			}
 			r.faults.CountDrop(f.Kind.IsHead())
 			if r.onDrop != nil {

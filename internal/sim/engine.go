@@ -15,12 +15,23 @@ type Module interface {
 	Tick(cycle int64) error
 }
 
-// Engine drives a set of modules and wires cycle by cycle.
+// Engine drives a set of modules and wires cycle by cycle. By default it
+// ticks every module on the caller's goroutine in registration order; see
+// SetParallel for the sharded parallel mode (parallel.go).
 type Engine struct {
 	cycle   int64
 	modules []Module
 	wires   []Latchable
 	bus     *Bus
+
+	// Parallel mode (SetParallel): sharded modules tick on the worker
+	// pool, ordered modules run their TickOrdered afterwards on the
+	// caller's goroutine, then the modules slice (the sequential phase)
+	// and the wire latch. nextIdx numbers sharded registrations globally
+	// so a cycle's first error is chosen deterministically.
+	pool    *pool
+	ordered []OrderedTicker
+	nextIdx int
 }
 
 // NewEngine returns an engine publishing on the given bus. A nil bus is
@@ -58,18 +69,27 @@ func (e *Engine) Connect(w Latchable) {
 // so one corrupted module aborts the run with a diagnostic instead of
 // tearing down the process (or a whole parameter sweep).
 func (e *Engine) Step() error {
+	if e.pool != nil {
+		return e.stepParallel()
+	}
 	for _, m := range e.modules {
 		if err := e.tickModule(m); err != nil {
 			return err
 		}
 	}
+	err := e.latch()
+	e.cycle++
+	return err
+}
+
+// latch latches every wire, joining strict-wire errors.
+func (e *Engine) latch() error {
 	var errs []error
 	for _, w := range e.wires {
 		if err := w.Latch(); err != nil {
 			errs = append(errs, fmt.Errorf("sim: cycle %d: %w", e.cycle, err))
 		}
 	}
-	e.cycle++
 	return errors.Join(errs...)
 }
 

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"fmt"
+	"sync"
 
 	"orion/internal/power"
 	"orion/internal/sim"
@@ -28,8 +29,11 @@ type Meter struct {
 	fixed bool
 
 	// errs collects events that could not be attributed (misconfigured
-	// registration); surfaced via Err.
-	errs []error
+	// registration); surfaced via Err. errMu makes the cold failure path
+	// safe under the parallel engine, where each shard bus drives the
+	// meter's handlers from its own worker goroutine.
+	errMu sync.Mutex
+	errs  []error
 }
 
 type bufKey struct{ node, port, vc int }
@@ -101,6 +105,8 @@ func (m *Meter) RegisterLinkDVS(node, port int, ctrl *power.DVSController) {
 // a module emitted an event for a component that was never registered — a
 // builder bug, not a workload property.
 func (m *Meter) Err() error {
+	m.errMu.Lock()
+	defer m.errMu.Unlock()
 	if len(m.errs) == 0 {
 		return nil
 	}
@@ -108,6 +114,8 @@ func (m *Meter) Err() error {
 }
 
 func (m *Meter) fail(e *sim.Event, format string, args ...any) {
+	m.errMu.Lock()
+	defer m.errMu.Unlock()
 	// Cap retained errors; one is enough to fail a run and they are all
 	// alike.
 	if len(m.errs) < 16 {

@@ -93,6 +93,27 @@ type Generator struct {
 	scratch []NewPacket
 	// Generated counts packets created per node.
 	Generated []int64
+
+	// recycling enables the packet free list: retired packets returned via
+	// Recycle donate their Packet record, flit structs and payload backing
+	// to the next MakePacket, which overwrites every field (payload words
+	// are redrawn from the RNG), so a recycled packet is observably
+	// identical to a fresh allocation. Off by default; the network builder
+	// turns it on when no fault injection is configured (payload bit-flips
+	// and drops break the "tail ejection retires the whole packet"
+	// ownership rule that makes recycling safe).
+	recycling bool
+	free      []*packetBuf
+}
+
+// packetBuf is one free-list entry: the batch allocations of a packet.
+// Packet.Buf points back here so Recycle can find the entry without a map.
+type packetBuf struct {
+	pkt     flit.Packet
+	flits   []*flit.Flit
+	backing []flit.Flit
+	words   []uint64
+	inUse   bool
 }
 
 // NewGenerator returns a generator for the given workload on the given
@@ -146,18 +167,68 @@ func (g *Generator) Tick(cycle int64, sample bool) ([]NewPacket, error) {
 	return out, nil
 }
 
+// SetRecycling enables or disables the packet free list (see the field
+// doc). Safe to flip only before the first Recycle.
+func (g *Generator) SetRecycling(on bool) { g.recycling = on }
+
+// Recycle returns a retired packet's allocations to the free list. Call
+// only when no live reference to the packet or any of its flits remains —
+// in practice, when the tail flit leaves the destination sink and every
+// observer (checker, sampler) has run. A packet not made by this
+// generator, or recycled twice, is ignored. No-op unless recycling is on.
+func (g *Generator) Recycle(p *flit.Packet) {
+	if !g.recycling || p == nil {
+		return
+	}
+	b, ok := p.Buf.(*packetBuf)
+	if !ok || b == nil || !b.inUse || &b.pkt != p {
+		return
+	}
+	b.inUse = false
+	g.free = append(g.free, b)
+}
+
+// newBuf pops a free-list entry, or allocates one sized for the configured
+// packet length. Either way every field of the returned buffer is
+// (re)initialised by MakePacket before any flit escapes.
+func (g *Generator) newBuf() *packetBuf {
+	length := g.cfg.PacketLength
+	if n := len(g.free); g.recycling && n > 0 {
+		b := g.free[n-1]
+		g.free[n-1] = nil
+		g.free = g.free[:n-1]
+		b.inUse = true
+		// Lengths are constant per generator, but guard anyway so a
+		// mis-sized entry is regrown rather than sliced out of range.
+		if len(b.flits) != length || len(b.backing) != length || len(b.words) != length*g.words {
+			b.flits = make([]*flit.Flit, length)
+			b.backing = make([]flit.Flit, length)
+			b.words = make([]uint64, length*g.words)
+		}
+		return b
+	}
+	return &packetBuf{
+		flits:   make([]*flit.Flit, length),
+		backing: make([]flit.Flit, length),
+		words:   make([]uint64, length*g.words),
+		inUse:   true,
+	}
+}
+
 // MakePacket creates one packet from src to dst with a source-computed
 // route and random payloads. It is exported for trace replay and tests.
-// Flits and payloads are carved from two batch allocations per packet; the
-// random words are drawn flit by flit in the same order as always, so
-// seeded workloads are unchanged.
+// Flits and payloads are carved from two batch allocations per packet —
+// reused from the free list once recycling is on — and the random words
+// are drawn flit by flit in the same order as always, so seeded workloads
+// are unchanged.
 func (g *Generator) MakePacket(src, dst int, cycle int64, sample bool) (NewPacket, error) {
 	route, err := g.topo.Route(src, dst)
 	if err != nil {
 		return NewPacket{}, err
 	}
 	g.nextID++
-	pkt := &flit.Packet{
+	b := g.newBuf()
+	b.pkt = flit.Packet{
 		ID:        g.nextID,
 		Src:       src,
 		Dst:       dst,
@@ -166,10 +237,12 @@ func (g *Generator) MakePacket(src, dst int, cycle int64, sample bool) (NewPacke
 		Length:    g.cfg.PacketLength,
 		CreatedAt: cycle,
 		Sample:    sample,
+		Buf:       b,
 	}
-	flits := make([]*flit.Flit, g.cfg.PacketLength)
-	backing := make([]flit.Flit, g.cfg.PacketLength)
-	words := make([]uint64, g.cfg.PacketLength*g.words)
+	pkt := &b.pkt
+	flits := b.flits
+	backing := b.backing
+	words := b.words
 	for i := range flits {
 		kind := flit.Body
 		switch {

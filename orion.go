@@ -238,6 +238,16 @@ type SimConfig struct {
 	// cancellation — are never retried: re-running a deterministic
 	// simulation reproduces them exactly. Zero means no retries.
 	PointRetries int
+	// Workers is the parallel tick worker count for a single run. 0
+	// resolves to the ORION_WORKERS environment variable if set, else
+	// GOMAXPROCS; the result is capped at half the node count (tiny
+	// networks stay sequential) and forced to 1 under fault injection.
+	// Results are bit-identical at every worker count, so Workers is an
+	// execution detail: it is excluded from the canonical config JSON
+	// (and therefore from config digests and snapshot binding). Sweeps
+	// default each point to 1 worker — the sweep already fills all cores
+	// with concurrent points.
+	Workers int `json:"-"`
 }
 
 // DeadlockMode selects how dimension-ordered routing on a torus is kept

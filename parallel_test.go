@@ -1,0 +1,139 @@
+package orion
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// Worker-count invariance: the parallel tick kernel's whole contract is
+// that results are bit-identical to the sequential engine at every worker
+// count. The table below runs each router/flow-control family — bubble
+// rings exercise the ordered ring phase, speculation moves switch
+// allocation into it, dateline and wormhole and central-buffered cover the
+// ring-free paths — at workers 1, 2, 4 and 7 (7 splits the 16 nodes into
+// uneven shards) and requires the mid-run StateHash and the complete
+// Result to match the sequential run exactly, float for float.
+
+var parallelCases = []struct {
+	name string
+	cfg  func() Config
+}{
+	{"vc64-bubble", func() Config { return OnChip4x4(VC64(), 0.10) }},
+	{"vc64-speculative", func() Config {
+		c := OnChip4x4(VC64(), 0.10)
+		c.Router.Speculative = true
+		return c
+	}},
+	{"vc16-dateline", func() Config {
+		c := OnChip4x4(VC16(), 0.08)
+		c.Sim.Deadlock = DeadlockDateline
+		return c
+	}},
+	{"wh64", func() Config { return OnChip4x4(WH64(), 0.08) }},
+	{"cb-chip2chip", func() Config { return ChipToChip4x4(CB(), 0.06) }},
+}
+
+// runAtWorkers completes one small run at the given worker count,
+// returning the state hash at cycle 400 and the final result.
+func runAtWorkers(t *testing.T, cfg Config, workers int) (uint64, *Result) {
+	t.Helper()
+	cfg.Sim.SamplePackets = 400
+	cfg.Sim.Workers = workers
+	s, err := NewSim(cfg)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	if want := workers; want > 1 && s.Workers() != want {
+		t.Fatalf("workers=%d: resolved to %d", want, s.Workers())
+	}
+	if _, err := s.StepTo(context.Background(), 400); err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	h, err := s.StateHash()
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return h, res
+}
+
+func TestParallelWorkerCountInvariance(t *testing.T) {
+	for _, tc := range parallelCases {
+		t.Run(tc.name, func(t *testing.T) {
+			seqHash, seqRes := runAtWorkers(t, tc.cfg(), 1)
+			for _, w := range []int{2, 4, 7} {
+				h, res := runAtWorkers(t, tc.cfg(), w)
+				if h != seqHash {
+					t.Errorf("workers=%d: state hash at cycle 400 = %#x, sequential %#x", w, h, seqHash)
+				}
+				if !reflect.DeepEqual(res, seqRes) {
+					t.Errorf("workers=%d: result differs from sequential run:\n got  %+v\n want %+v", w, res, seqRes)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelSnapshotResume checks that snapshots are worker-independent:
+// a snapshot captured under the parallel engine resumes under any worker
+// count (the digest excludes Workers), the restored state verifies
+// bit-identical by replay, and the resumed runs finish with the sequential
+// run's exact result.
+func TestParallelSnapshotResume(t *testing.T) {
+	ctx := context.Background()
+	base := OnChip4x4(VC64(), 0.10)
+	base.Sim.SamplePackets = 400
+
+	cfg4 := base
+	cfg4.Sim.Workers = 4
+	s, err := NewSim(cfg4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.StepTo(ctx, 600); err != nil {
+		t.Fatal(err)
+	}
+	snapshot, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, w := range []int{1, 4, 7} {
+		cfg := base
+		cfg.Sim.Workers = w
+		r, err := Resume(ctx, cfg, snapshot)
+		if err != nil {
+			t.Fatalf("resume at workers=%d: %v", w, err)
+		}
+		if got := r.Cycle(); got != snapshot.Cycle {
+			t.Fatalf("resume at workers=%d: at cycle %d, want %d", w, got, snapshot.Cycle)
+		}
+		res, err := r.Run()
+		if err != nil {
+			t.Fatalf("resume at workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(res, want) {
+			t.Errorf("resume at workers=%d: result differs from the interrupted run's", w)
+		}
+	}
+}
+
+// TestParallelSelfCheck drives VerifyEventPath with a parallel primary
+// build, which adds the sequential-oracle comparison to the fast-vs-
+// reference lockstep (the `orion -selfcheck` path).
+func TestParallelSelfCheck(t *testing.T) {
+	cfg := OnChip4x4(VC64(), 0.10)
+	cfg.Sim.SamplePackets = 300
+	cfg.Sim.Workers = 4
+	if err := VerifyEventPath(context.Background(), cfg, 200, 0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -325,6 +325,7 @@ func resolve(cfg Config) (core.Config, error) {
 		ReferenceEventPath: cfg.Sim.ReferenceEventPath,
 		Faults:             cfg.Faults.toInternal(),
 		CheckInvariants:    cfg.CheckInvariants.enabled(),
+		Workers:            cfg.Sim.Workers,
 	}
 	return out, nil
 }
@@ -539,6 +540,13 @@ var errPointPanic = errors.New("panicked")
 // Deterministic failures — saturation, deadlock, invariant violations —
 // and sweep cancellation stick on the first occurrence.
 func runPoint(ctx context.Context, cfg Config, rate float64) (*Result, error) {
+	// A sweep already fills the machine with concurrent points; letting
+	// each point also auto-resolve to GOMAXPROCS tick workers would
+	// oversubscribe every core. Points default to the sequential engine
+	// unless the caller explicitly asked for intra-run parallelism.
+	if cfg.Sim.Workers == 0 {
+		cfg.Sim.Workers = 1
+	}
 	res, err := runPointOnce(ctx, cfg, rate)
 	for attempt := 1; err != nil && attempt <= cfg.Sim.PointRetries; attempt++ {
 		if ctx.Err() != nil {

@@ -4,14 +4,17 @@
 # Runs the micro-benchmarks guarding the event hot path (Bus.Publish, the
 # router tick, the full Figure-5 VC64 run and the simulator speed figure)
 # plus the checkpointing overhead pair (run with snapshots disabled vs a
-# snapshot every 1000 cycles) and writes one JSON document with ns/op,
-# B/op, allocs/op and the custom metrics (sim-cycles/sec, latency, power)
-# per benchmark, plus enough environment metadata to compare runs across
-# machines.
+# snapshot every 1000 cycles) and the parallel-kernel worker-count scaling
+# sweep (Fig5 VC64 at 1/2/4/8 tick workers), and writes one JSON document
+# with ns/op, B/op, allocs/op and the custom metrics (sim-cycles/sec,
+# latency, power) per benchmark, plus enough environment metadata to
+# compare runs across machines.
 #
 # Usage:
 #   scripts/bench.sh [output.json]      # default output: BENCH_hotpath.json
 #   BENCHTIME=5s scripts/bench.sh       # longer, steadier measurement
+#   WORKERS_SWEEP=0 scripts/bench.sh    # skip the worker-count sweep
+#                                       # (pointless on single-core boxes)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,10 +23,15 @@ BENCHTIME="${BENCHTIME:-2s}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
+WORKERS_SWEEP="${WORKERS_SWEEP:-1}"
+
 {
     go test ./internal/sim -run '^$' -bench 'BenchmarkBusPublish' -benchtime "$BENCHTIME" -benchmem
     go test ./internal/router -run '^$' -bench 'BenchmarkRouterTick' -benchtime "$BENCHTIME" -benchmem
     go test . -run '^$' -bench 'BenchmarkFig5VC64$|BenchmarkSimulatorSpeed$|BenchmarkRunNoSnapshot$|BenchmarkRunSnapshotEvery1k$' -benchtime "$BENCHTIME" -benchmem
+    if [ "$WORKERS_SWEEP" != "0" ]; then
+        go test . -run '^$' -bench 'BenchmarkFig5VC64Workers[1248]$' -benchtime "$BENCHTIME" -benchmem
+    fi
 } | tee "$RAW"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \

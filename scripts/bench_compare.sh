@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# bench_compare.sh — hot-path performance regression gate.
+#
+# Re-runs the benchmarks that guard the event hot path and compares each
+# ns/op figure against the committed baseline in BENCH_hotpath.json (the
+# file scripts/bench.sh writes). The gate fails — exit 1, offenders
+# listed — when any gated benchmark is more than BENCH_TOLERANCE_PCT
+# slower than its baseline. Benchmarks present in only one of the two
+# sets are reported but never fail the gate, so adding a new benchmark
+# does not require regenerating the baseline in the same change.
+#
+# Gated benchmarks (ns/op only; B/op and allocs/op are locked down
+# exactly by TestRouterTickZeroAlloc and TestRunAllocationBudget):
+#   BenchmarkRouterTickWormhole / VC / CB     router tick hot path
+#   BenchmarkFig5VC64                         full Figure-5 run
+#   BenchmarkSimulatorSpeed                   end-to-end cycles/sec
+#   BenchmarkRunNoSnapshot / SnapshotEvery1k  checkpointing overhead
+#
+# Usage:
+#   scripts/bench_compare.sh [baseline.json]   # default: BENCH_hotpath.json
+#   BENCH_TOLERANCE_PCT=25 scripts/bench_compare.sh   # looser gate (noisy CI)
+#   BENCHTIME=2s scripts/bench_compare.sh             # steadier measurement
+#
+# After an intentional perf change, refresh the baseline with
+# scripts/bench.sh and commit the new BENCH_hotpath.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASE="${1:-BENCH_hotpath.json}"
+TOL="${BENCH_TOLERANCE_PCT:-15}"
+BENCHTIME="${BENCHTIME:-1s}"
+
+if [ ! -f "$BASE" ]; then
+    echo "bench_compare: baseline $BASE not found (run scripts/bench.sh first)" >&2
+    exit 1
+fi
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+{
+    go test ./internal/router -run '^$' -bench 'BenchmarkRouterTick' -benchtime "$BENCHTIME"
+    go test . -run '^$' -bench 'BenchmarkFig5VC64$|BenchmarkSimulatorSpeed$|BenchmarkRunNoSnapshot$|BenchmarkRunSnapshotEvery1k$' -benchtime "$BENCHTIME"
+} | tee "$RAW"
+
+echo
+echo "=== bench gate: current vs $BASE (tolerance ${TOL}%) ==="
+
+# Baseline entries are one JSON object per line inside the "benchmarks"
+# array; pull the name and ns/op out of each. Current numbers come from
+# the raw `go test -bench` lines above. Compare only names in the gate
+# list that appear in both sets.
+awk -v tol="$TOL" '
+BEGIN {
+    ngate = split("BenchmarkRouterTickWormhole BenchmarkRouterTickVC " \
+                  "BenchmarkRouterTickCB BenchmarkFig5VC64 " \
+                  "BenchmarkSimulatorSpeed BenchmarkRunNoSnapshot " \
+                  "BenchmarkRunSnapshotEvery1k", gatelist, " ")
+    for (i = 1; i <= ngate; i++) gate[gatelist[i]] = 1
+    fails = 0
+}
+# Pass 1: the baseline JSON.
+FNR == NR {
+    if (match($0, /"name": "[^"]+"/)) {
+        name = substr($0, RSTART + 9, RLENGTH - 10)
+        if (match($0, /"ns\/op": [0-9.eE+-]+/))
+            base[name] = substr($0, RSTART + 9, RLENGTH - 9) + 0
+    }
+    next
+}
+# Pass 2: raw benchmark output. Fields: Name-N  iterations  ns  ns/op  ...
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    for (i = 3; i < NF; i++) {
+        if ($(i + 1) == "ns/op") { cur[name] = $i + 0; break }
+    }
+}
+END {
+    printf "%-34s %14s %14s %9s\n", "benchmark", "baseline ns/op", "current ns/op", "delta"
+    for (i = 1; i <= ngate; i++) {
+        name = gatelist[i]
+        if (!(name in base)) {
+            printf "%-34s %14s %14s %9s\n", name, "-", (name in cur ? sprintf("%.1f", cur[name]) : "-"), "no base"
+            continue
+        }
+        if (!(name in cur)) {
+            printf "%-34s %14.1f %14s %9s\n", name, base[name], "-", "not run"
+            continue
+        }
+        delta = (cur[name] - base[name]) * 100.0 / base[name]
+        verdict = ""
+        if (delta > tol) { verdict = "  <-- REGRESSION"; fails++ }
+        printf "%-34s %14.1f %14.1f %+8.1f%%%s\n", name, base[name], cur[name], delta, verdict
+    }
+    if (fails > 0) {
+        printf "\nbench gate FAILED: %d benchmark(s) regressed more than %s%% in ns/op.\n", fails, tol
+        printf "If the slowdown is intentional, refresh the baseline: scripts/bench.sh\n"
+        exit 1
+    }
+    printf "\nbench gate OK: no ns/op regression beyond %s%%.\n", tol
+}' "$BASE" "$RAW"

@@ -63,6 +63,10 @@ func ConfigDigest(cfg Config) ([]byte, error) {
 // Cycle returns the current engine cycle.
 func (s *Sim) Cycle() int64 { return s.net.Cycle() }
 
+// Workers returns the resolved parallel tick worker count (1 means the
+// sequential engine). See SimConfig.Workers for the resolution policy.
+func (s *Sim) Workers() int { return s.net.Workers() }
+
 // StepTo advances the simulation to the given cycle boundary, crossing
 // the warm-up/measurement transition exactly as an uninterrupted run
 // would. done reports whether the measurement completed at or before the
@@ -206,12 +210,14 @@ func ResumeFile(ctx context.Context, cfg Config, path string) (*Sim, error) {
 	return Resume(ctx, cfg, snapshot)
 }
 
-// VerifyEventPath is the simulator's divergence self-check: it runs two
+// VerifyEventPath is the simulator's divergence self-check: it runs
 // lockstep builds of the configuration — the frozen fast event path and
-// the map-based reference path — comparing StateHash every `every`
-// cycles until both complete or `maxCycles` is reached. The two paths are
-// required to be observably identical; a differing hash fails with a
-// *DivergenceError naming the first differing state section.
+// the map-based reference path, plus a sequential-engine oracle whenever
+// the primary build resolved to more than one tick worker — comparing
+// StateHash every `every` cycles until all complete or `maxCycles` is
+// reached. The builds are required to be observably identical; a
+// differing hash fails with a *DivergenceError naming the first differing
+// state section.
 func VerifyEventPath(ctx context.Context, cfg Config, every, maxCycles int64) error {
 	if every <= 0 {
 		return fmt.Errorf("orion: VerifyEventPath needs a positive comparison interval, got %d", every)
@@ -225,6 +231,17 @@ func VerifyEventPath(ctx context.Context, cfg Config, every, maxCycles int64) er
 	ref, err := NewSim(refCfg)
 	if err != nil {
 		return err
+	}
+	// When the primary build runs parallel, a third build pinned to the
+	// sequential engine checks the parallel kernel's bit-identity claim
+	// end to end, not just in the unit tests.
+	var seq *Sim
+	if fast.Workers() > 1 {
+		seqCfg := cfg
+		seqCfg.Sim.Workers = 1
+		if seq, err = NewSim(seqCfg); err != nil {
+			return err
+		}
 	}
 	for cycle := every; maxCycles <= 0 || cycle <= maxCycles; cycle += every {
 		fastDone, err := fast.StepTo(ctx, cycle)
@@ -248,6 +265,23 @@ func VerifyEventPath(ctx context.Context, cfg Config, every, maxCycles int64) er
 		}
 		if fastDone != refDone {
 			return &DivergenceError{Cycle: fast.Cycle(), Section: "completion status (fast vs reference)"}
+		}
+		if seq != nil {
+			seqDone, err := seq.StepTo(ctx, cycle)
+			if err != nil {
+				return err
+			}
+			c, err := seq.net.CaptureState(nil)
+			if err != nil {
+				return fmt.Errorf("%w: %v", ErrSnapshot, err)
+			}
+			if d := snap.Diff(a, c); d != "" {
+				return &DivergenceError{Cycle: fast.Cycle(),
+					Section: fmt.Sprintf("parallel (%d workers) vs sequential engine: %s", fast.Workers(), d)}
+			}
+			if fastDone != seqDone {
+				return &DivergenceError{Cycle: fast.Cycle(), Section: "completion status (parallel vs sequential)"}
+			}
 		}
 		if fastDone {
 			return nil
