@@ -43,3 +43,51 @@ func TestRunAllocationBudget(t *testing.T) {
 		t.Errorf("full run allocated %d heap bytes, budget %d", bytes, maxBytes)
 	}
 }
+
+// TestParallelAllocationBudget pins the parallel engine's allocation
+// overhead over the identical sequential run. The per-worker structures —
+// shard buses, latch trackers, sink pending lists, module shards — cost
+// ~15 KB and ~230 objects at 8 workers on the Figure-5 VC64 run; the
+// budgets below allow roughly 4× that. The meter's frozen event tables
+// are shared across the shard buses (stats.Meter.AttachBuses), which is
+// what keeps this delta flat: one dense table per bus cost +170 KB at 8
+// workers. Steady-state per-cycle work (dirty-wire lists, counter merges,
+// pending lists) is preallocated, so any per-cycle or per-packet
+// allocation introduced on the parallel path fails this loudly.
+func TestParallelAllocationBudget(t *testing.T) {
+	const (
+		maxExtraAllocs = 1_000
+		maxExtraBytes  = 64_000
+	)
+	measure := func(workers int) (allocs, bytes uint64) {
+		cfg := OnChip4x4(VC64(), 0.10)
+		cfg.Sim.SamplePackets = benchSamples
+		cfg.CheckInvariants = InvariantOff
+		cfg.Sim.Workers = workers
+		run := func() {
+			if _, err := Run(cfg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		run() // warm the runtime and the worker pool machinery
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		run()
+		runtime.ReadMemStats(&after)
+		return after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc
+	}
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	seqAllocs, seqBytes := measure(1)
+	parAllocs, parBytes := measure(8)
+	t.Logf("workers=1: %d allocs / %d B; workers=8: %d allocs / %d B",
+		seqAllocs, seqBytes, parAllocs, parBytes)
+	if parAllocs > seqAllocs+maxExtraAllocs {
+		t.Errorf("8-worker run allocated %d objects, sequential %d, budget +%d",
+			parAllocs, seqAllocs, maxExtraAllocs)
+	}
+	if parBytes > seqBytes+maxExtraBytes {
+		t.Errorf("8-worker run allocated %d heap bytes, sequential %d, budget +%d",
+			parBytes, seqBytes, maxExtraBytes)
+	}
+}

@@ -82,6 +82,27 @@ func BenchmarkFig5VC64Workers2(b *testing.B) { benchFig5VC64Workers(b, 2) }
 func BenchmarkFig5VC64Workers4(b *testing.B) { benchFig5VC64Workers(b, 4) }
 func BenchmarkFig5VC64Workers8(b *testing.B) { benchFig5VC64Workers(b, 8) }
 
+// --- 1024-node fabric: worker scaling at the scale the kernel targets ---
+
+// Worker-count scaling on a 32×32 (1024-node) non-wraparound mesh — the
+// large-fabric configuration the sharded tick/latch kernel is built for
+// (`orion -topology mesh32x32 -workers 8`). Low uniform load (0.005
+// packets/node/cycle) keeps the run under the mesh's ~0.0125 bisection
+// bound. Results are bit-identical at every worker count
+// (TestParallelWorkerInvarianceMesh32), so these measure pure speedup;
+// read them against the bench machine's core count — workers beyond
+// GOMAXPROCS only contend.
+func benchMesh32Workers(b *testing.B, workers int) {
+	cfg := OnChipMesh(32, 32, VC8(), 0.005)
+	cfg.Sim.Workers = workers
+	benchRun(b, cfg)
+}
+
+func BenchmarkMesh32VC8Workers1(b *testing.B) { benchMesh32Workers(b, 1) }
+func BenchmarkMesh32VC8Workers2(b *testing.B) { benchMesh32Workers(b, 2) }
+func BenchmarkMesh32VC8Workers4(b *testing.B) { benchMesh32Workers(b, 4) }
+func BenchmarkMesh32VC8Workers8(b *testing.B) { benchMesh32Workers(b, 8) }
+
 // BenchmarkFig5cBreakdown reports VC64's component power split (buffers
 // and crossbar dominant, arbiter under 1%, links under ~16%).
 func BenchmarkFig5cBreakdown(b *testing.B) {

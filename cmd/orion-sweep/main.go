@@ -44,6 +44,9 @@ var (
 	samples = flag.Int("samples", 5000, "sample packets per point")
 	seed    = flag.Int64("seed", 1, "workload seed")
 
+	topoSpec = flag.String("topology", "",
+		"topology spec overriding the preset's or default 4x4 shape: torusWxH, torusWxHxD, meshWxH (e.g. mesh32x32), cmeshWxHxC")
+
 	routerKind = flag.String("router", "vc", "router kind when no preset: vc, wormhole, cb")
 	vcs        = flag.Int("vcs", 2, "virtual channels per port")
 	depth      = flag.Int("depth", 8, "buffer depth in flits")
@@ -144,6 +147,13 @@ func run() (status int) {
 			cfg.Link = orion.LinkConfig{LengthMm: 3}
 			cfg.Tech = orion.TechConfig{FreqGHz: 2}
 		}
+	}
+	if *topoSpec != "" {
+		spec, err := orion.ParseTopologySpec(*topoSpec)
+		if err != nil {
+			fail("%v", err)
+		}
+		spec.Apply(&cfg)
 	}
 	cfg.Sim.SamplePackets = *samples
 	cfg.Traffic.Seed = *seed

@@ -42,10 +42,12 @@ import (
 )
 
 var (
-	width  = flag.Int("width", 4, "network width")
-	zdim   = flag.Int("z", 0, "third dimension radix (k-ary 3-cube; torus only)")
-	height = flag.Int("height", 4, "network height")
-	mesh   = flag.Bool("mesh", false, "mesh instead of torus")
+	width    = flag.Int("width", 4, "network width")
+	zdim     = flag.Int("z", 0, "third dimension radix (k-ary 3-cube; torus only)")
+	height   = flag.Int("height", 4, "network height")
+	mesh     = flag.Bool("mesh", false, "mesh instead of torus")
+	topoSpec = flag.String("topology", "",
+		"topology spec overriding -width/-height/-z/-mesh: torusWxH, torusWxHxD, meshWxH (e.g. mesh32x32), cmeshWxHxC")
 
 	routerKind = flag.String("router", "vc", "router kind: vc, wormhole, cb")
 	vcs        = flag.Int("vcs", 2, "virtual channels per port (vc router)")
@@ -122,6 +124,13 @@ func buildConfig() orion.Config {
 			Seed:         *seed,
 		},
 		Sim: orion.SimConfig{SamplePackets: *samples, WarmupCycles: *warmup},
+	}
+	if *topoSpec != "" {
+		spec, err := orion.ParseTopologySpec(*topoSpec)
+		if err != nil {
+			fail("%v", err)
+		}
+		spec.Apply(&cfg)
 	}
 
 	switch *routerKind {
@@ -295,8 +304,11 @@ func run() int {
 	if cfg.Depth > 1 {
 		shape = fmt.Sprintf("%sx%d", shape, cfg.Depth)
 	}
+	if cfg.Concentration > 1 {
+		shape = fmt.Sprintf("%sx%d", shape, cfg.Concentration)
+	}
 	fmt.Printf("network:        %s %s, %s router, %d-bit flits\n",
-		shape, topoName(cfg.Mesh), cfg.Router.Kind, cfg.Router.FlitBits)
+		shape, topoName(cfg), cfg.Router.Kind, cfg.Router.FlitBits)
 	fmt.Printf("sample:         %d packets over %d measured cycles (%d total)\n",
 		res.SamplePackets, res.MeasuredCycles, res.TotalCycles)
 	fmt.Printf("latency:        avg %.2f cycles (min %.0f, max %.0f)\n",
@@ -337,11 +349,15 @@ func run() int {
 	return 0
 }
 
-func topoName(mesh bool) string {
-	if mesh {
+func topoName(cfg orion.Config) string {
+	switch {
+	case cfg.Concentration > 1:
+		return "cmesh"
+	case cfg.Mesh:
 		return "mesh"
+	default:
+		return "torus"
 	}
-	return "torus"
 }
 
 // applyFaultFlags translates the fault and invariant flags onto the

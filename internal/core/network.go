@@ -76,7 +76,17 @@ type Network struct {
 	dataWires []*sim.Wire[*flit.Flit]
 	credWires []*sim.Wire[flit.Credit]
 	dvsCtrls  []*power.DVSController
+
+	// sinkPending[w] collects worker w's sinks holding a deferred
+	// ejection record this cycle (parallel mode only); the sink flusher
+	// drains the lists in shard order on the coordinator. Preallocated to
+	// shard size, so the hot path never grows it.
+	sinkPending [][]*router.Sink
 }
+
+// shardOf maps a node to its tick worker. Shards are contiguous node
+// ranges, so walking shards in index order visits nodes in node order.
+func (n *Network) shardOf(node int) int { return node * n.workers / len(n.routers) }
 
 // SetSnapshotHook installs a periodic snapshot sink invoked at every cycle
 // divisible by every (before that cycle executes). every <= 0 disables the
@@ -204,17 +214,18 @@ func Build(cfg Config) (*Network, error) {
 	}
 	// Hook the meter to every shard bus only after every component is
 	// registered: the default fast path freezes the registration maps into
-	// flat per-event-type tables (stats.Meter.Attach); the reference path
-	// keeps the map-based listener for cross-validation. The frozen tables
-	// reference the same per-component power states on every bus, but each
-	// component's events arrive only on its own node's shard bus, so no
-	// state is touched from two workers.
-	for _, b := range buses {
-		if cfg.ReferenceEventPath {
+	// flat per-event-type tables, shared across all shard buses
+	// (stats.Meter.AttachBuses); the reference path keeps the map-based
+	// listener for cross-validation. The frozen tables reference the same
+	// per-component power states on every bus, but each component's
+	// events arrive only on its own node's shard bus, so no state is
+	// touched from two workers.
+	if cfg.ReferenceEventPath {
+		for _, b := range buses {
 			meter.AttachReference(b)
-		} else {
-			meter.Attach(b)
 		}
+	} else {
+		meter.AttachBuses(buses...)
 	}
 
 	gen, err := traffic.NewGenerator(cfg.Traffic, topo)
@@ -233,14 +244,16 @@ func Build(cfg Config) (*Network, error) {
 	// results — all cross-module communication is through one-cycle
 	// wires).
 	//
-	// Parallel mode shards sources and routers by node onto the worker
-	// pool (a node's modules mutate only that node's state and publish
-	// only on its shard bus). Bubble-ring VC routers additionally defer
-	// their shared-Ring updates and VC allocation to the ordered phase,
-	// which replays them on one goroutine in node order — the exact
-	// global ring-op order of the sequential engine. Sinks stay in the
-	// sequential phase: they drive Network-level callbacks (sampler,
-	// checker ledger, flow counters) that are shared across nodes.
+	// Parallel mode shards sources, routers and sinks by node onto the
+	// worker pool (a node's modules mutate only that node's state and
+	// publish only on its shard bus). Bubble-ring VC routers additionally
+	// defer their shared-Ring updates and VC allocation to the ordered
+	// phase, which replays them on one goroutine in node order — the
+	// exact global ring-op order of the sequential engine. Sinks defer
+	// their ejection record similarly: the flit consume and count happen
+	// on the shard worker, and the Network-level callbacks (sampler,
+	// checker ledger, flow counters — shared across nodes) are replayed
+	// by the sink flusher on the coordinator in node order.
 	if workers > 1 {
 		for node := 0; node < nodes; node++ {
 			engine.RegisterSharded(shardOf(node), n.sources[node])
@@ -255,6 +268,20 @@ func Build(cfg Config) (*Network, error) {
 				engine.RegisterOrdered(xb)
 			}
 		}
+		n.sinkPending = make([][]*router.Sink, workers)
+		counts := make([]int, workers)
+		for node := 0; node < nodes; node++ {
+			counts[shardOf(node)]++
+		}
+		for w := range n.sinkPending {
+			n.sinkPending[w] = make([]*router.Sink, 0, counts[w])
+		}
+		for node := 0; node < nodes; node++ {
+			w := shardOf(node)
+			n.sinks[node].SetDeferred(&n.sinkPending[w])
+			engine.RegisterSharded(w, n.sinks[node])
+		}
+		engine.Register(sinkFlusher{n})
 	} else {
 		for node := 0; node < nodes; node++ {
 			engine.Register(n.sources[node])
@@ -262,11 +289,33 @@ func Build(cfg Config) (*Network, error) {
 		for node := 0; node < nodes; node++ {
 			engine.Register(n.routers[node])
 		}
-	}
-	for node := 0; node < nodes; node++ {
-		engine.Register(n.sinks[node])
+		for node := 0; node < nodes; node++ {
+			engine.Register(n.sinks[node])
+		}
 	}
 	return n, nil
+}
+
+// sinkFlusher replays the shards' deferred ejection records on the
+// coordinator goroutine, in shard order. Shards are contiguous node
+// ranges and each shard ticks its sinks in node order, so the replay
+// visits sinks in exactly the sequential engine's order — the sampler,
+// checker and generator free list observe identical call sequences at
+// every worker count.
+type sinkFlusher struct{ n *Network }
+
+// Name implements sim.Module.
+func (sf sinkFlusher) Name() string { return "sink-flusher" }
+
+// Tick implements sim.Module.
+func (sf sinkFlusher) Tick(cycle int64) error {
+	for w, pend := range sf.n.sinkPending {
+		for _, s := range pend {
+			s.Flush()
+		}
+		sf.n.sinkPending[w] = pend[:0]
+	}
+	return nil
 }
 
 // Workers returns the resolved tick worker count (1 means the sequential
@@ -281,6 +330,12 @@ func (n *Network) eventCounts() [sim.NumEventTypes]int64 {
 
 // wire creates all data and credit wires: one pair per directed
 // inter-router link, plus injection and ejection wiring per node.
+//
+// Each wire joins the latch shard of its producer — the module whose Tick
+// sends on it — so dirty-list enlistment on Send stays single-writer and
+// each worker latches exactly the wires its own shard wrote (see
+// sim.Engine.ConnectSharded). On a sequential engine ConnectSharded is
+// Connect.
 func (n *Network) wire() error {
 	topo := n.cfg.Topology
 	rcfg := n.cfg.Router
@@ -294,8 +349,10 @@ func (n *Network) wire() error {
 			}
 			data := sim.NewWire[*flit.Flit](fmt.Sprintf("link %d.%d->%d", node, port, neighbor))
 			credit := sim.NewLossyWire[flit.Credit](fmt.Sprintf("credit %d<-%d", node, neighbor))
-			n.engine.Connect(data)
-			n.engine.Connect(credit)
+			// node's router sends on data; neighbor's router returns the
+			// credits.
+			n.engine.ConnectSharded(n.shardOf(node), data)
+			n.engine.ConnectSharded(n.shardOf(neighbor), credit)
 			n.dataWires = append(n.dataWires, data)
 			n.credWires = append(n.credWires, credit)
 			if err := n.routers[node].AttachOutput(port, data, credit, rcfg.BufferDepth, false); err != nil {
@@ -309,8 +366,9 @@ func (n *Network) wire() error {
 		// Injection.
 		inj := sim.NewWire[*flit.Flit](fmt.Sprintf("inject %d", node))
 		injCred := sim.NewLossyWire[flit.Credit](fmt.Sprintf("inject-credit %d", node))
-		n.engine.Connect(inj)
-		n.engine.Connect(injCred)
+		// The source sends on inj, the router on injCred — both shard(node).
+		n.engine.ConnectSharded(n.shardOf(node), inj)
+		n.engine.ConnectSharded(n.shardOf(node), injCred)
 		n.dataWires = append(n.dataWires, inj)
 		n.credWires = append(n.credWires, injCred)
 		if err := n.routers[node].AttachInput(local, inj, injCred); err != nil {
@@ -324,7 +382,7 @@ func (n *Network) wire() error {
 
 		// Ejection (immediate, Section 4.1).
 		eject := sim.NewWire[*flit.Flit](fmt.Sprintf("eject %d", node))
-		n.engine.Connect(eject)
+		n.engine.ConnectSharded(n.shardOf(node), eject)
 		n.dataWires = append(n.dataWires, eject)
 		if err := n.routers[node].AttachOutput(local, eject, nil, 0, true); err != nil {
 			return err

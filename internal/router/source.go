@@ -130,6 +130,18 @@ type Sink struct {
 	data   *sim.Wire[*flit.Flit]
 	record SinkRecord
 
+	// Deferred mode (parallel networks): Tick consumes the flit and
+	// counts the ejection, but stashes the record callback's arguments
+	// and enlists the sink on the shared pending list instead of calling
+	// it — the callback feeds network-wide state (sampler, checker,
+	// counters) that must be touched by one goroutine. Flush, called on
+	// the coordinator in node order, replays the callback with identical
+	// arguments and order to the sequential engine. The stash is empty at
+	// every cycle boundary, so state capture is unaffected.
+	pending   *[]*Sink
+	pendFlit  *flit.Flit
+	pendCycle int64
+
 	// Ejected counts flits consumed.
 	Ejected int64
 }
@@ -158,6 +170,12 @@ func (s *Sink) Record() SinkRecord { return s.record }
 // SetRecord replaces the sink's ejection callback.
 func (s *Sink) SetRecord(r SinkRecord) { s.record = r }
 
+// SetDeferred switches the sink to deferred record delivery: Tick appends
+// the sink to *pending instead of invoking the callback, and Flush
+// replays it. pending must be written only by this sink's tick goroutine.
+// nil restores immediate delivery.
+func (s *Sink) SetDeferred(pending *[]*Sink) { s.pending = pending }
+
 // Tick implements sim.Module.
 func (s *Sink) Tick(cycle int64) error {
 	f, ok := s.data.Take()
@@ -168,8 +186,22 @@ func (s *Sink) Tick(cycle int64) error {
 		return fmt.Errorf("sink %d: misrouted flit %v (dst %d)", s.node, f, f.Packet.Dst)
 	}
 	s.Ejected++
-	if s.record != nil {
-		s.record(f, cycle)
+	if s.record == nil {
+		return nil
 	}
+	if s.pending != nil {
+		s.pendFlit, s.pendCycle = f, cycle
+		*s.pending = append(*s.pending, s)
+		return nil
+	}
+	s.record(f, cycle)
 	return nil
+}
+
+// Flush delivers a deferred ejection record. Called on the coordinator
+// goroutine after the parallel tick phase.
+func (s *Sink) Flush() {
+	f := s.pendFlit
+	s.pendFlit = nil
+	s.record(f, s.pendCycle)
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // Module is a hardware block with per-cycle behaviour. Modules read values
@@ -21,8 +22,19 @@ type Module interface {
 type Engine struct {
 	cycle   int64
 	modules []Module
-	wires   []Latchable
 	bus     *Bus
+
+	// Wire latching (see latch.go). coord is the tracker for wires
+	// connected without a shard — the only tracker on a sequential
+	// engine; parallel engines additionally keep one tracker per worker
+	// in the pool. alwaysLatch holds Latchables that cannot dirty-track
+	// themselves and are latched every cycle. latchSeq numbers
+	// connections globally so latch errors sort into connection order
+	// regardless of which shard latched them.
+	coord       latchTracker
+	alwaysLatch []seqLatch
+	latchSeq    int
+	latchErrs   []seqError
 
 	// Parallel mode (SetParallel): sharded modules tick on the worker
 	// pool, ordered modules run their TickOrdered afterwards on the
@@ -57,11 +69,42 @@ func (e *Engine) Register(m Module) {
 	}
 }
 
-// Connect adds a wire (or any Latchable) to be latched after every cycle.
-func (e *Engine) Connect(w Latchable) {
-	if w != nil {
-		e.wires = append(e.wires, w)
+// seqLatch is a non-dirty-trackable Latchable with its connection order.
+type seqLatch struct {
+	w   Latchable
+	seq int
+}
+
+// Connect adds a wire (or any Latchable) to the engine's latch phase. On
+// a parallel engine, the wire is latched by the coordinator; use
+// ConnectSharded to have a worker latch it.
+func (e *Engine) Connect(w Latchable) { e.connectTo(&e.coord, w) }
+
+// ConnectSharded adds a wire to the given shard's latch phase, latched by
+// that shard's worker. The shard must be the one whose modules send on
+// the wire (the producer side), so dirty-list enlistment stays
+// single-writer. Out-of-range shards and a sequential engine fall back to
+// Connect, so callers may shard unconditionally.
+func (e *Engine) ConnectSharded(shard int, w Latchable) {
+	if e.pool == nil || shard < 0 || shard >= len(e.pool.trackers) {
+		e.Connect(w)
+		return
 	}
+	e.connectTo(e.pool.trackers[shard], w)
+}
+
+func (e *Engine) connectTo(t *latchTracker, w Latchable) {
+	if w == nil {
+		return
+	}
+	seq := e.latchSeq
+	e.latchSeq++
+	if dw, ok := w.(dirtyLatchable); ok {
+		dw.bindTracker(t, seq)
+		t.bound++
+		return
+	}
+	e.alwaysLatch = append(e.alwaysLatch, seqLatch{w: w, seq: seq})
 }
 
 // Step executes one cycle: every module ticks, then every wire latches.
@@ -77,20 +120,39 @@ func (e *Engine) Step() error {
 			return err
 		}
 	}
-	err := e.latch()
+	e.coord.latchAll()
+	err := e.finishLatch()
 	e.cycle++
 	return err
 }
 
-// latch latches every wire, joining strict-wire errors.
-func (e *Engine) latch() error {
-	var errs []error
-	for _, w := range e.wires {
-		if err := w.Latch(); err != nil {
-			errs = append(errs, fmt.Errorf("sim: cycle %d: %w", e.cycle, err))
+// finishLatch latches the always-latch list and joins every tracker's
+// latch errors in connection order — the order the pre-dirty-tracking
+// engine reported them in, identical at every worker count. The happy
+// path (no errors) is allocation-free.
+func (e *Engine) finishLatch() error {
+	errs := e.latchErrs[:0]
+	if e.pool != nil {
+		for _, t := range e.pool.trackers {
+			errs = append(errs, t.errs...)
 		}
 	}
-	return errors.Join(errs...)
+	errs = append(errs, e.coord.errs...)
+	for _, al := range e.alwaysLatch {
+		if err := al.w.Latch(); err != nil {
+			errs = append(errs, seqError{seq: al.seq, err: err})
+		}
+	}
+	e.latchErrs = errs[:0]
+	if len(errs) == 0 {
+		return nil
+	}
+	sort.Slice(errs, func(i, j int) bool { return errs[i].seq < errs[j].seq })
+	wrapped := make([]error, len(errs))
+	for i, se := range errs {
+		wrapped[i] = fmt.Errorf("sim: cycle %d: %w", e.cycle, se.err)
+	}
+	return errors.Join(wrapped...)
 }
 
 // tickModule runs one module's Tick with panic recovery.

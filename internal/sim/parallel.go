@@ -21,9 +21,15 @@ import (
 //     coordinator goroutine, in registration order, for the few
 //     sub-stages that read state shared between modules (the
 //     virtual-channel routers' ring-occupancy reads);
-//  3. sequential phase — modules registered with Register (the network
-//     sinks, whose ejection callback feeds the shared sampler, checker
-//     and latency statistics) tick on the coordinator, then wires latch.
+//  3. sequential phase — modules registered with Register (the network's
+//     sink flusher, whose callbacks feed the shared sampler, checker and
+//     latency statistics) tick on the coordinator;
+//  4. latch phase — each worker latches the dirty wires of its own shard
+//     behind a second epoch barrier (wires are assigned to their
+//     producer's shard by ConnectSharded), while the coordinator latches
+//     the unsharded remainder. Latch errors carry the wire's connection
+//     sequence, so the coordinator reassembles them into the sequential
+//     engine's exact reporting order.
 //
 // Determinism: shard assignment is static and value-free (no scheduling
 // decision ever feeds back into simulation state), each module is ticked
@@ -59,8 +65,21 @@ type shardError struct {
 // pool is the persistent worker pool behind the parallel tick phase.
 // It deliberately holds no reference to the Engine, so the engine's
 // finalizer (which stops the pool's goroutines) can run.
+// Worker phases within one cycle: tick the shard's modules, then latch
+// the shard's dirty wires. The coordinator publishes the phase under
+// p.mu before bumping the epoch, so a worker that observes the new epoch
+// also observes the phase (the epoch atomics carry the happens-before).
+const (
+	phaseTick = iota
+	phaseLatch
+)
+
 type pool struct {
 	shards [][]shardModule
+
+	// trackers[w] is worker w's dirty-wire list (see latch.go): enlisted
+	// during w's tick phase, drained by w in the latch phase.
+	trackers []*latchTracker
 
 	// epoch counts issued cycles and done counts worker completions; the
 	// coordinator publishes work by bumping epoch and waits for done to
@@ -81,11 +100,21 @@ type pool struct {
 	// its done increment, and read by the coordinator after the barrier.
 	errs []shardError
 
+	// phase is written by the coordinator under mu before each epoch bump
+	// and read by workers after observing that bump.
+	phase int
+
 	started bool
 }
 
 func newPool(workers int) *pool {
-	p := &pool{shards: make([][]shardModule, workers)}
+	p := &pool{
+		shards:   make([][]shardModule, workers),
+		trackers: make([]*latchTracker, workers),
+	}
+	for i := range p.trackers {
+		p.trackers[i] = &latchTracker{}
+	}
 	p.cond = sync.NewCond(&p.mu)
 	return p
 }
@@ -111,8 +140,9 @@ func (p *pool) shutdown() {
 	p.mu.Unlock()
 }
 
-// worker is one shard's goroutine: wait for the next epoch, tick the
-// shard's modules in order, report completion.
+// worker is one shard's goroutine: wait for the next epoch, run the
+// published phase — tick the shard's modules in order, or latch the
+// shard's dirty wires — and report completion.
 func (p *pool) worker(w int) {
 	var seen int64
 	for {
@@ -123,6 +153,13 @@ func (p *pool) worker(w int) {
 		seen = target
 		cycle := p.cycle.Load()
 		p.errs[w] = shardError{}
+		if p.phase == phaseLatch {
+			// Latch errors stay in the tracker, tagged with connection
+			// sequence; the coordinator collects them in finishLatch.
+			p.trackers[w].latchAll()
+			p.done.Add(1)
+			continue
+		}
 		for _, sm := range p.shards[w] {
 			if err := tickModule(sm.m, cycle); err != nil {
 				// Record the first error and stop the shard, mirroring
@@ -157,13 +194,16 @@ func (p *pool) await(target int64) bool {
 	return !p.stop.Load()
 }
 
-// runCycle executes one parallel tick phase: publish the cycle, wake the
-// workers, wait for all shards, and return the deterministic first error
-// (the failing module with the lowest registration index — the module the
-// sequential engine would have failed on first). Allocation-free.
-func (p *pool) runCycle(cycle int64) error {
+// runPhase executes one parallel phase: publish the cycle and phase,
+// wake the workers, wait for all shards, and return the deterministic
+// first module error (the failing module with the lowest registration
+// index — the module the sequential engine would have failed on first;
+// always nil for the latch phase, whose errors are collected from the
+// trackers by finishLatch). Allocation-free.
+func (p *pool) runPhase(phase int, cycle int64) error {
 	p.cycle.Store(cycle)
 	p.mu.Lock()
+	p.phase = phase
 	p.epoch.Add(1)
 	p.cond.Broadcast()
 	p.mu.Unlock()
@@ -233,8 +273,8 @@ func (e *Engine) RegisterOrdered(m OrderedTicker) {
 	e.ordered = append(e.ordered, m)
 }
 
-// stepParallel is Step for a parallel engine: parallel phase, ordered
-// phase, sequential phase, wire latch.
+// stepParallel is Step for a parallel engine: parallel tick phase,
+// ordered phase, sequential phase, then the parallel latch phase.
 func (e *Engine) stepParallel() error {
 	if !e.pool.started {
 		e.pool.start()
@@ -243,7 +283,7 @@ func (e *Engine) stepParallel() error {
 		// the engine implies the pool is only reachable from here.
 		runtime.SetFinalizer(e, func(e *Engine) { e.pool.shutdown() })
 	}
-	if err := e.pool.runCycle(e.cycle); err != nil {
+	if err := e.pool.runPhase(phaseTick, e.cycle); err != nil {
 		return err
 	}
 	for _, m := range e.ordered {
@@ -256,7 +296,12 @@ func (e *Engine) stepParallel() error {
 			return err
 		}
 	}
-	err := e.latch()
+	// Coordinator-phase modules may have sent on sharded wires (enlisting
+	// them on a worker's tracker) — safe, the workers are parked between
+	// epochs. The latch phase then drains every tracker concurrently.
+	_ = e.pool.runPhase(phaseLatch, e.cycle)
+	e.coord.latchAll()
+	err := e.finishLatch()
 	e.cycle++
 	return err
 }

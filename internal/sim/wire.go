@@ -29,6 +29,16 @@ type Wire[T any] struct {
 	nextOK  bool
 	strict  bool
 	dropped int64
+
+	// Dirty-latch tracking (engine-connected wires only; see latch.go).
+	// A wire with neither a delivered nor a pending value latches as a
+	// pure no-op, so the engine latches only wires on its dirty lists:
+	// Send enlists the wire with its tracker, and it stays enlisted until
+	// a latch leaves it empty. tracker is nil for standalone wires, which
+	// latch exactly as before.
+	tracker *latchTracker
+	armed   bool
+	seq     int
 }
 
 // NewWire returns a strict wire: overwriting an unconsumed value is an
@@ -55,6 +65,10 @@ func (w *Wire[T]) Send(v T) error {
 	}
 	w.next = v
 	w.nextOK = true
+	if w.tracker != nil && !w.armed {
+		w.armed = true
+		w.tracker.enlist(w)
+	}
 	return nil
 }
 
@@ -92,6 +106,27 @@ func (w *Wire[T]) Dropped() int64 { return w.dropped }
 // boundary, where next is always empty.
 func (w *Wire[T]) Pending() (cur T, curOK bool, next T, nextOK bool) {
 	return w.cur, w.curOK, w.next, w.nextOK
+}
+
+// bindTracker implements dirtyLatchable: the engine hands the wire the
+// dirty list to enlist with on Send, and its connection sequence number
+// (used to order latch errors deterministically across worker counts).
+func (w *Wire[T]) bindTracker(t *latchTracker, seq int) {
+	w.tracker = t
+	w.seq = seq
+}
+
+// latchArmed implements dirtyLatchable: latch, then report whether the
+// wire still holds an unconsumed value — in which case it must stay on
+// the dirty list so the next latch can record the drop (or strict-wire
+// error) exactly as an every-cycle latch would have.
+func (w *Wire[T]) latchArmed() (still bool, seq int, err error) {
+	err = w.Latch()
+	if w.curOK {
+		return true, w.seq, err
+	}
+	w.armed = false
+	return false, w.seq, err
 }
 
 // Latch implements Latchable.

@@ -176,7 +176,23 @@ func (m *Meter) freeze() *frozenTables {
 // after all components are registered; later Register* calls are not seen
 // by the frozen path. AttachReference is the equivalent map-based hookup.
 func (m *Meter) Attach(bus *sim.Bus) {
+	m.attachFrozen(bus, m.freeze())
+}
+
+// AttachBuses attaches the fast path to several buses (a parallel
+// network's per-shard buses) sharing one set of frozen tables, so the
+// dense-table allocation is paid once per network rather than once per
+// bus. The tables are read-only after freeze; the mutable per-component
+// power states they point to are only ever touched by their own node's
+// shard bus, so sharing the tables adds no cross-worker contention.
+func (m *Meter) AttachBuses(buses ...*sim.Bus) {
 	f := m.freeze()
+	for _, bus := range buses {
+		m.attachFrozen(bus, f)
+	}
+}
+
+func (m *Meter) attachFrozen(bus *sim.Bus, f *frozenTables) {
 	acct := m.account
 
 	bus.SubscribeType(sim.EvBufferWrite, func(e *sim.Event) {

@@ -1,0 +1,212 @@
+package topology
+
+import "fmt"
+
+// CMesh is a concentrated mesh: a Width×Height grid of clusters, each
+// holding C terminals that share one hub router in the mesh. The hub
+// (slot 0 of its cluster) is a full mesh router; the remaining C−1
+// terminals are satellites hanging off the hub over dedicated spoke
+// links. Concentration multiplies the terminal count of a mesh without
+// growing its diameter — the arrangement of Balfour & Dally's CMesh —
+// at the cost of radix-(C+4) hub routers.
+//
+// Node numbering: node (x, y, s) has index (y·Width + x)·C + s, with
+// s = 0 the hub. Ports 0–3 are the mesh compass directions, ports
+// 4 … C+2 are the spokes to satellites 1 … C−1, and port C+3 is the
+// local injection/ejection port. A spoke link uses the same port index
+// at both ends (spoke ports are self-opposite), so satellite s talks to
+// its hub through port 4+(s−1) in both directions.
+//
+// Routing is up-spoke → dimension-ordered mesh → down-spoke → local.
+// The channel dependence graph is a tree of spokes grafted onto an
+// acyclic dimension-ordered mesh, so the topology is deadlock-free with
+// no VC classes and no wraparound machinery.
+type CMesh struct {
+	Width, Height int
+	// C is the concentration: terminals per cluster, at least 2.
+	C     int
+	Order DimOrder
+}
+
+// NewCMesh returns a Width×Height concentrated mesh with c terminals per
+// cluster and y-first dimension order.
+func NewCMesh(width, height, c int) (*CMesh, error) {
+	if width <= 0 || height <= 0 {
+		return nil, fmt.Errorf("topology: cmesh dimensions must be positive, got %d×%d", width, height)
+	}
+	if c < 2 {
+		return nil, fmt.Errorf("topology: cmesh concentration must be at least 2, got %d (use a mesh for 1)", c)
+	}
+	return &CMesh{Width: width, Height: height, C: c, Order: YFirst}, nil
+}
+
+// Name implements Topology.
+func (m *CMesh) Name() string {
+	return fmt.Sprintf("%dx%dx%d cmesh", m.Width, m.Height, m.C)
+}
+
+// Nodes implements Topology.
+func (m *CMesh) Nodes() int { return m.Width * m.Height * m.C }
+
+// Ports implements Topology: 4 mesh directions, C−1 spokes, 1 local.
+func (m *CMesh) Ports() int { return m.C + 4 }
+
+// LocalPort returns the injection/ejection port index.
+func (m *CMesh) LocalPort() int { return m.C + 3 }
+
+// spokePort returns the port joining a hub and its satellite s (s ≥ 1).
+// The same index is used on both ends of the spoke.
+func (m *CMesh) spokePort(s int) int { return 4 + (s - 1) }
+
+// Slot returns a node's cluster base (its hub) and slot within the
+// cluster (0 for the hub itself).
+func (m *CMesh) Slot(node int) (hub, slot int) {
+	slot = node % m.C
+	return node - slot, slot
+}
+
+// Coord implements Topology, returning the node's cluster coordinates
+// (satellites share their hub's coordinates).
+func (m *CMesh) Coord(node int) (int, int) {
+	cluster := node / m.C
+	return cluster % m.Width, cluster / m.Width
+}
+
+// NodeAt implements Topology, returning the hub of the cluster at the
+// given (clamped) coordinates.
+func (m *CMesh) NodeAt(x, y int) int {
+	x = clamp(x, 0, m.Width-1)
+	y = clamp(y, 0, m.Height-1)
+	return (y*m.Width + x) * m.C
+}
+
+// NodeAtSlot returns the node at cluster (x, y), slot s.
+func (m *CMesh) NodeAtSlot(x, y, s int) int { return m.NodeAt(x, y) + s }
+
+// DimOf implements Topology: mesh ports carry their 2-D dimension; spoke
+// and local ports belong to no dimension.
+func (m *CMesh) DimOf(port int) int {
+	if port < 4 {
+		return dimOf2D(port)
+	}
+	return -1
+}
+
+// OppositePort implements Topology. Mesh links join opposite compass
+// ports; a spoke link uses the same port index at both ends.
+func (m *CMesh) OppositePort(port int) int {
+	if port < 4 {
+		return Opposite(port)
+	}
+	return port
+}
+
+// Wraparound implements Topology.
+func (m *CMesh) Wraparound() bool { return false }
+
+// Neighbor implements Topology. Hubs link to neighbouring hubs through
+// the mesh ports and to their satellites through the spokes; satellites
+// have exactly one link, the spoke back to their hub.
+func (m *CMesh) Neighbor(node, port int) (int, bool) {
+	if node < 0 || node >= m.Nodes() {
+		return 0, false
+	}
+	hub, slot := m.Slot(node)
+	if slot != 0 {
+		// Satellite: only its own spoke port is wired.
+		if port == m.spokePort(slot) {
+			return hub, true
+		}
+		return 0, false
+	}
+	x, y := m.Coord(node)
+	switch port {
+	case PortNorth:
+		if y+1 >= m.Height {
+			return 0, false
+		}
+		return m.NodeAt(x, y+1), true
+	case PortSouth:
+		if y-1 < 0 {
+			return 0, false
+		}
+		return m.NodeAt(x, y-1), true
+	case PortEast:
+		if x+1 >= m.Width {
+			return 0, false
+		}
+		return m.NodeAt(x+1, y), true
+	case PortWest:
+		if x-1 < 0 {
+			return 0, false
+		}
+		return m.NodeAt(x-1, y), true
+	default:
+		if s := port - 4 + 1; s >= 1 && s < m.C {
+			return hub + s, true
+		}
+		return 0, false
+	}
+}
+
+// Route implements Topology: up the source spoke (if a satellite),
+// dimension-ordered across the hub mesh, down the destination spoke (if
+// a satellite), then eject.
+func (m *CMesh) Route(src, dst int) ([]int, error) {
+	if err := checkNodes(m, src, dst); err != nil {
+		return nil, err
+	}
+	_, sSlot := m.Slot(src)
+	_, dSlot := m.Slot(dst)
+	sx, sy := m.Coord(src)
+	dx, dy := m.Coord(dst)
+
+	route := make([]int, 0, abs(dx-sx)+abs(dy-sy)+3)
+	if src != dst && sSlot != 0 {
+		route = append(route, m.spokePort(sSlot))
+	}
+	appendDim := func(from, to, plusPort, minusPort int) {
+		for i := from; i < to; i++ {
+			route = append(route, plusPort)
+		}
+		for i := from; i > to; i-- {
+			route = append(route, minusPort)
+		}
+	}
+	if m.Order == YFirst {
+		appendDim(sy, dy, PortNorth, PortSouth)
+		appendDim(sx, dx, PortEast, PortWest)
+	} else {
+		appendDim(sx, dx, PortEast, PortWest)
+		appendDim(sy, dy, PortNorth, PortSouth)
+	}
+	if src != dst && dSlot != 0 {
+		route = append(route, m.spokePort(dSlot))
+	}
+	route = append(route, m.LocalPort())
+	return route, nil
+}
+
+// VCClasses implements Topology. The spoke-tree-plus-DOR-mesh channel
+// dependence graph is acyclic, so no VC classes are needed.
+func (m *CMesh) VCClasses(src int, route []int) []int { return nil }
+
+// Distance returns the minimal hop count from a to b: spoke hops at
+// either end plus the Manhattan distance between the clusters.
+func (m *CMesh) Distance(a, b int) int {
+	if a == b {
+		return 0
+	}
+	_, aSlot := m.Slot(a)
+	_, bSlot := m.Slot(b)
+	ax, ay := m.Coord(a)
+	bx, by := m.Coord(b)
+	d := abs(bx-ax) + abs(by-ay)
+	if aSlot != 0 {
+		d++
+	}
+	if bSlot != 0 {
+		d++
+	}
+	return d
+}

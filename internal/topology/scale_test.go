@@ -1,0 +1,208 @@
+package topology
+
+import "testing"
+
+// Scale and deadlock-freedom properties shared across topologies: the
+// thousand-node fabrics of the worker-scaling study (32×32 mesh/torus,
+// 3-D tori, concentrated meshes) exercise coordinate arithmetic and
+// routing far outside the paper's 4×4 comfort zone, and every topology
+// must prove its routing function deadlock-free — either by an acyclic
+// channel dependence graph outright (mesh, cmesh) or after splitting
+// channels by the dateline VC classes (tori).
+
+// assertChannelDependenciesAcyclic builds the channel dependence graph
+// induced by the topology's routing function — channels are (link, VC
+// class) pairs, with an edge wherever a route holds one channel while
+// requesting the next — and fails the test if it contains a cycle.
+func assertChannelDependenciesAcyclic(t *testing.T, tp Topology) {
+	t.Helper()
+	nChan := tp.Nodes() * tp.Ports() * 2
+	adj := make([][]int, nChan)
+	seen := make(map[[2]int]bool)
+	for src := 0; src < tp.Nodes(); src++ {
+		for dst := 0; dst < tp.Nodes(); dst++ {
+			route, err := tp.Route(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			classes := tp.VCClasses(src, route)
+			cur, prev := src, -1
+			for i, p := range route {
+				next, ok := tp.Neighbor(cur, p)
+				if !ok {
+					break // ejection hop
+				}
+				class := 0
+				if classes != nil {
+					class = classes[i]
+					if class < 0 || class > 1 {
+						t.Fatalf("%s: route %d->%d hop %d has class %d", tp.Name(), src, dst, i, class)
+					}
+				}
+				c := (cur*tp.Ports()+p)*2 + class
+				if prev >= 0 && !seen[[2]int{prev, c}] {
+					seen[[2]int{prev, c}] = true
+					adj[prev] = append(adj[prev], c)
+				}
+				prev, cur = c, next
+			}
+		}
+	}
+	// Iterative colored DFS: 0 unvisited, 1 on stack, 2 done.
+	color := make([]byte, nChan)
+	var stack []int
+	for start := range adj {
+		if color[start] != 0 {
+			continue
+		}
+		stack = append(stack[:0], start)
+		for len(stack) > 0 {
+			c := stack[len(stack)-1]
+			if color[c] == 0 {
+				color[c] = 1
+				for _, n := range adj[c] {
+					switch color[n] {
+					case 1:
+						t.Fatalf("%s: channel dependence cycle through channel %d -> %d", tp.Name(), c, n)
+					case 0:
+						stack = append(stack, n)
+					}
+				}
+			} else {
+				color[c] = 2
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+}
+
+// TestChannelDependenciesAcyclic: dimension-ordered routing must be
+// deadlock-free on every topology — outright on meshes and cmeshes, and
+// once channels are split by the dateline classes on tori. This is the
+// property that lets VC routers in dateline mode partition their VCs by
+// class and never hang.
+func TestChannelDependenciesAcyclic(t *testing.T) {
+	tops := []Topology{
+		mustMesh(t, 4, 4),
+		mustMesh(t, 3, 5),
+		mustCMesh(t, 3, 3, 3),
+		mustCMesh(t, 2, 2, 4),
+		mustTorus(t, 4, 4),
+		mustTorus(t, 5, 3),
+		mustNTorus(t, 4, 4),
+		mustNTorus(t, 3, 3, 3),
+	}
+	balanced := mustTorus(t, 4, 4)
+	balanced.BalancedTies = true
+	tops = append(tops, balanced)
+	for _, tp := range tops {
+		assertChannelDependenciesAcyclic(t, tp)
+	}
+}
+
+// TestDatelineClassesRequired is the negative control for the acyclicity
+// check: merging a torus ring's channels into one class (what VCClasses
+// prevents) must produce a cycle, proving the checker can actually see
+// one.
+func TestDatelineClassesRequired(t *testing.T) {
+	tp := mustTorus(t, 4, 4)
+	nChan := tp.Nodes() * tp.Ports()
+	adj := make([][]int, nChan)
+	seen := make(map[[2]int]bool)
+	for src := 0; src < tp.Nodes(); src++ {
+		for dst := 0; dst < tp.Nodes(); dst++ {
+			route, _ := tp.Route(src, dst)
+			cur, prev := src, -1
+			for _, p := range route {
+				next, ok := tp.Neighbor(cur, p)
+				if !ok {
+					break
+				}
+				c := cur*tp.Ports() + p
+				if prev >= 0 && !seen[[2]int{prev, c}] {
+					seen[[2]int{prev, c}] = true
+					adj[prev] = append(adj[prev], c)
+				}
+				prev, cur = c, next
+			}
+		}
+	}
+	color := make([]byte, nChan)
+	var cyclic bool
+	var visit func(int)
+	visit = func(c int) {
+		color[c] = 1
+		for _, n := range adj[c] {
+			if color[n] == 1 {
+				cyclic = true
+				return
+			}
+			if color[n] == 0 {
+				visit(n)
+			}
+		}
+		color[c] = 2
+	}
+	for c := range adj {
+		if color[c] == 0 && !cyclic {
+			visit(c)
+		}
+	}
+	if !cyclic {
+		t.Fatal("classless torus channel graph is acyclic — the dateline test proves nothing")
+	}
+}
+
+// TestNTorusScaleRoundTrip: coordinate arithmetic must hold on fabrics
+// three orders of magnitude beyond the paper's 4×4 — a 32×32 (1024-node)
+// torus and an 8×8×8 (512-node) 3-D torus.
+func TestNTorusScaleRoundTrip(t *testing.T) {
+	for _, tp := range []*NTorus{mustNTorus(t, 32, 32), mustNTorus(t, 8, 8, 8)} {
+		for node := 0; node < tp.Nodes(); node++ {
+			c := tp.Coords(node)
+			if got := tp.NodeAtCoords(c); got != node {
+				t.Fatalf("%s: NodeAtCoords(Coords(%d)) = %d", tp.Name(), node, got)
+			}
+			for port := 0; port < tp.Ports()-1; port++ {
+				next, ok := tp.Neighbor(node, port)
+				if !ok {
+					t.Fatalf("%s: torus node %d missing link on port %d", tp.Name(), node, port)
+				}
+				back, ok := tp.Neighbor(next, tp.OppositePort(port))
+				if !ok || back != node {
+					t.Fatalf("%s: link %d --%d--> %d not symmetric", tp.Name(), node, port, next)
+				}
+			}
+		}
+	}
+}
+
+// TestNTorusScaleRouteMinimal: routes on the scaled tori must walk
+// existing links to the destination in exactly Distance hops. Sampled
+// with coprime strides to keep the quadratic pair space affordable.
+func TestNTorusScaleRouteMinimal(t *testing.T) {
+	for _, tp := range []*NTorus{mustNTorus(t, 32, 32), mustNTorus(t, 8, 8, 8)} {
+		for src := 0; src < tp.Nodes(); src += 7 {
+			for dst := 0; dst < tp.Nodes(); dst += 11 {
+				route, err := tp.Route(src, dst)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cur := src
+				for _, p := range route[:len(route)-1] {
+					next, ok := tp.Neighbor(cur, p)
+					if !ok {
+						t.Fatalf("%s: route %d->%d walks a missing link", tp.Name(), src, dst)
+					}
+					cur = next
+				}
+				if cur != dst {
+					t.Fatalf("%s: route %d->%d ends at %d", tp.Name(), src, dst, cur)
+				}
+				if got, want := len(route)-1, tp.Distance(src, dst); got != want {
+					t.Fatalf("%s: route %d->%d has %d hops, want minimal %d", tp.Name(), src, dst, got, want)
+				}
+			}
+		}
+	}
+}

@@ -289,6 +289,13 @@ type Config struct {
 	Depth int
 	// Mesh disables the torus wraparound links (2-D only).
 	Mesh bool
+	// Concentration, when greater than 1, concentrates the mesh: each of
+	// the Width×Height clusters holds Concentration terminals sharing one
+	// hub router in the mesh, with the satellite terminals attached to
+	// their hub over dedicated spoke links (a CMesh). Node (x, y, s) has
+	// index (y·Width + x)·Concentration + s; s = 0 is the hub. Requires
+	// Mesh; the total node count is Width·Height·Concentration.
+	Concentration int
 	// BalancedTieRouting alternates the direction of exact half-ring
 	// routing ties by node parity, balancing the load between the
 	// positive and negative rings of a torus (always-positive ties load

@@ -32,6 +32,10 @@ var parallelCases = []struct {
 	}},
 	{"wh64", func() Config { return OnChip4x4(WH64(), 0.08) }},
 	{"cb-chip2chip", func() Config { return ChipToChip4x4(CB(), 0.06) }},
+	// Non-wraparound fabrics: no rings, so the parallel path runs without
+	// the ordered phase — the pure sharded tick/latch pipeline.
+	{"mesh8x8-vc8", func() Config { return OnChipMesh(8, 8, VC8(), 0.02) }},
+	{"cmesh3x3x3-vc8", func() Config { return OnChipCMesh(3, 3, 3, VC8(), 0.02) }},
 }
 
 // runAtWorkers completes one small run at the given worker count,
@@ -75,6 +79,26 @@ func TestParallelWorkerCountInvariance(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestParallelWorkerInvarianceMesh32 is the invariance check at the scale
+// the kernel is built for: a 1024-node (32×32) mesh, uneven shards
+// included. Skipped under -short — four full 1024-node runs.
+func TestParallelWorkerInvarianceMesh32(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1024-node fabric: skipped in -short")
+	}
+	cfg := func() Config { return OnChipMesh(32, 32, VC8(), 0.005) }
+	seqHash, seqRes := runAtWorkers(t, cfg(), 1)
+	for _, w := range []int{2, 4, 7} {
+		h, res := runAtWorkers(t, cfg(), w)
+		if h != seqHash {
+			t.Errorf("workers=%d: state hash at cycle 400 = %#x, sequential %#x", w, h, seqHash)
+		}
+		if !reflect.DeepEqual(res, seqRes) {
+			t.Errorf("workers=%d: result differs from sequential run", w)
+		}
 	}
 }
 

@@ -49,6 +49,45 @@ func CB() RouterConfig {
 	}
 }
 
+// VC8 is a light virtual-channel router for large-fabric scaling studies:
+// 2 VCs per port with 8-flit buffers and 64-bit flits. It keeps the
+// per-router tick cheap enough that thousand-node fabrics simulate at
+// interactive speed while still exercising the full VC pipeline.
+func VC8() RouterConfig {
+	return RouterConfig{Kind: VirtualChannel, VCs: 2, BufferDepth: 8, FlitBits: 64}
+}
+
+// OnChipMesh returns a width×height on-chip mesh (no wraparound links) at
+// 2 GHz with 5-flit packets and uniform random traffic at the given
+// injection rate. Meshes need no deadlock avoidance under dimension-ordered
+// routing, so every router kind runs without bubble or dateline overhead —
+// the configuration of the 1024-node scaling study (DESIGN.md "Scaling").
+func OnChipMesh(width, height int, r RouterConfig, rate float64) Config {
+	return Config{
+		Width: width, Height: height, Mesh: true,
+		Router:  r,
+		Link:    LinkConfig{LengthMm: 3},
+		Tech:    TechConfig{FreqGHz: 2},
+		Traffic: TrafficConfig{Pattern: Uniform(), Rate: rate, PacketLength: 5},
+	}
+}
+
+// OnChipCMesh returns a width×height concentrated mesh with c terminals
+// per cluster (c·width·height nodes total): cluster hubs form a mesh and
+// satellite terminals hang off their hub on dedicated spoke links, giving
+// radix-(c+4) hub routers — the Balfour-Dally CMesh arrangement with
+// c = 4. Like the plain mesh it is deadlock-free under dimension-ordered
+// routing with no VC classes.
+func OnChipCMesh(width, height, c int, r RouterConfig, rate float64) Config {
+	return Config{
+		Width: width, Height: height, Mesh: true, Concentration: c,
+		Router:  r,
+		Link:    LinkConfig{LengthMm: 3},
+		Tech:    TechConfig{FreqGHz: 2},
+		Traffic: TrafficConfig{Pattern: Uniform(), Rate: rate, PacketLength: 5},
+	}
+}
+
 // OnChip4x4 returns the Section 4.2 on-chip experiment: a 4×4 torus at
 // 2 GHz, 1.2 V, 0.1 µm, 3 mm links, 5-flit packets, uniform random
 // traffic at the given injection rate, with the given router.

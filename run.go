@@ -122,6 +122,9 @@ func resolve(cfg Config) (core.Config, error) {
 		topo topology.Topology
 		err  error
 	)
+	if cfg.Concentration > 1 && !cfg.Mesh {
+		return out, fmt.Errorf("orion: Concentration requires Mesh (concentrated torus is not supported)")
+	}
 	switch {
 	case cfg.Depth > 1:
 		if cfg.Mesh {
@@ -133,6 +136,8 @@ func resolve(cfg Config) (core.Config, error) {
 			nt.BalancedTies = cfg.BalancedTieRouting
 			topo = nt
 		}
+	case cfg.Mesh && cfg.Concentration > 1:
+		topo, err = topology.NewCMesh(cfg.Width, cfg.Height, cfg.Concentration)
 	case cfg.Mesh:
 		topo, err = topology.NewMesh(cfg.Width, cfg.Height)
 	default:
@@ -243,7 +248,7 @@ func resolve(cfg Config) (core.Config, error) {
 		tcfg.Pattern = &traffic.Broadcast{Nodes: nodes, Source: src}
 		tcfg.Rates = traffic.SingleSourceRates(nodes, src, cfg.Traffic.Rate)
 	case PatternTranspose:
-		if cfg.Depth > 1 {
+		if cfg.Depth > 1 || cfg.Concentration > 1 {
 			return out, fmt.Errorf("orion: transpose is a 2-D pattern")
 		}
 		if cfg.Width != cfg.Height {
@@ -255,7 +260,7 @@ func resolve(cfg Config) (core.Config, error) {
 		tcfg.Pattern = traffic.BitComplement{Nodes: nodes}
 		tcfg.Rates = traffic.UniformRates(nodes, cfg.Traffic.Rate)
 	case PatternTornado:
-		if cfg.Depth > 1 {
+		if cfg.Depth > 1 || cfg.Concentration > 1 {
 			return out, fmt.Errorf("orion: tornado is a 2-D pattern")
 		}
 		tcfg.Pattern = traffic.Tornado{Width: cfg.Width, Height: cfg.Height}
@@ -268,7 +273,7 @@ func resolve(cfg Config) (core.Config, error) {
 		tcfg.Pattern = traffic.Hotspot{Nodes: nodes, Hot: hot, Fraction: cfg.Traffic.Pattern.Fraction}
 		tcfg.Rates = traffic.UniformRates(nodes, cfg.Traffic.Rate)
 	case PatternNeighbor:
-		if cfg.Depth > 1 {
+		if cfg.Depth > 1 || cfg.Concentration > 1 {
 			return out, fmt.Errorf("orion: neighbor is a 2-D pattern")
 		}
 		tcfg.Pattern = traffic.Neighbor{Width: cfg.Width, Height: cfg.Height}

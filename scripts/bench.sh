@@ -5,10 +5,12 @@
 # router tick, the full Figure-5 VC64 run and the simulator speed figure)
 # plus the checkpointing overhead pair (run with snapshots disabled vs a
 # snapshot every 1000 cycles) and the parallel-kernel worker-count scaling
-# sweep (Fig5 VC64 at 1/2/4/8 tick workers), and writes one JSON document
-# with ns/op, B/op, allocs/op and the custom metrics (sim-cycles/sec,
-# latency, power) per benchmark, plus enough environment metadata to
-# compare runs across machines.
+# sweeps (Fig5 VC64 and the 1024-node 32x32 mesh, each at 1/2/4/8 tick
+# workers), and writes one JSON document with ns/op, B/op, allocs/op and
+# the custom metrics (sim-cycles/sec, latency, power) per benchmark, plus
+# enough environment metadata to compare runs across machines — including
+# the CPU count, without which the worker-sweep numbers are meaningless
+# (workers beyond the core count only contend).
 #
 # Usage:
 #   scripts/bench.sh [output.json]      # default output: BENCH_hotpath.json
@@ -28,20 +30,22 @@ WORKERS_SWEEP="${WORKERS_SWEEP:-1}"
 {
     go test ./internal/sim -run '^$' -bench 'BenchmarkBusPublish' -benchtime "$BENCHTIME" -benchmem
     go test ./internal/router -run '^$' -bench 'BenchmarkRouterTick' -benchtime "$BENCHTIME" -benchmem
-    go test . -run '^$' -bench 'BenchmarkFig5VC64$|BenchmarkSimulatorSpeed$|BenchmarkRunNoSnapshot$|BenchmarkRunSnapshotEvery1k$' -benchtime "$BENCHTIME" -benchmem
+    go test . -run '^$' -bench 'BenchmarkFig5VC64$|BenchmarkSimulatorSpeed$|BenchmarkRunNoSnapshot$|BenchmarkRunSnapshotEvery1k$|BenchmarkMesh32VC8Workers1$' -benchtime "$BENCHTIME" -benchmem
     if [ "$WORKERS_SWEEP" != "0" ]; then
-        go test . -run '^$' -bench 'BenchmarkFig5VC64Workers[1248]$' -benchtime "$BENCHTIME" -benchmem
+        go test . -run '^$' -bench 'BenchmarkFig5VC64Workers[1248]$|BenchmarkMesh32VC8Workers[248]$' -benchtime "$BENCHTIME" -benchmem
     fi
 } | tee "$RAW"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     -v goversion="$(go version | cut -d' ' -f3)" \
-    -v benchtime="$BENCHTIME" '
+    -v benchtime="$BENCHTIME" \
+    -v cpus="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)" '
 BEGIN {
     printf "{\n"
     printf "  \"date\": \"%s\",\n", date
     printf "  \"go\": \"%s\",\n", goversion
     printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"cpus\": %d,\n", cpus
     printf "  \"benchmarks\": [\n"
     sep = ""
 }

@@ -1,0 +1,83 @@
+package orion
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// TopologySpec is a parsed -topology flag value: the shape fields of a
+// Config, separated so command-line tools can overlay a topology on an
+// otherwise-configured simulation.
+type TopologySpec struct {
+	Width, Height, Depth int
+	Mesh                 bool
+	Concentration        int
+}
+
+// Apply overlays the spec's shape on a configuration, clearing the shape
+// fields the spec does not use.
+func (s TopologySpec) Apply(cfg *Config) {
+	cfg.Width, cfg.Height, cfg.Depth = s.Width, s.Height, s.Depth
+	cfg.Mesh = s.Mesh
+	cfg.Concentration = s.Concentration
+}
+
+// ParseTopologySpec parses a compact topology description of the form
+// kindW×H[×K]:
+//
+//	torus8x8     8×8 torus (wraparound)
+//	torus4x4x4   4×4×4 3-D torus
+//	mesh32x32    32×32 mesh (no wraparound), 1024 nodes
+//	cmesh8x8x4   8×8 concentrated mesh, 4 terminals per cluster (256 nodes)
+//
+// The kind is case-insensitive. A plain torus or mesh takes two
+// dimensions; a 3-D torus takes three; a cmesh takes grid dimensions plus
+// the concentration.
+func ParseTopologySpec(spec string) (TopologySpec, error) {
+	var out TopologySpec
+	s := strings.ToLower(strings.TrimSpace(spec))
+	var kind string
+	for _, k := range []string{"cmesh", "mesh", "torus"} {
+		if strings.HasPrefix(s, k) {
+			kind = k
+			break
+		}
+	}
+	if kind == "" {
+		return out, fmt.Errorf("orion: topology %q: want torusWxH, torusWxHxD, meshWxH or cmeshWxHxC", spec)
+	}
+	parts := strings.Split(s[len(kind):], "x")
+	dims := make([]int, 0, 3)
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v <= 0 {
+			return out, fmt.Errorf("orion: topology %q: bad dimension %q", spec, p)
+		}
+		dims = append(dims, v)
+	}
+	switch kind {
+	case "torus":
+		if len(dims) != 2 && len(dims) != 3 {
+			return out, fmt.Errorf("orion: topology %q: torus takes 2 or 3 dimensions, got %d", spec, len(dims))
+		}
+		out.Width, out.Height = dims[0], dims[1]
+		if len(dims) == 3 {
+			out.Depth = dims[2]
+		}
+	case "mesh":
+		if len(dims) != 2 {
+			return out, fmt.Errorf("orion: topology %q: mesh takes 2 dimensions, got %d (use cmeshWxHxC for a concentrated mesh)", spec, len(dims))
+		}
+		out.Width, out.Height = dims[0], dims[1]
+		out.Mesh = true
+	case "cmesh":
+		if len(dims) != 3 {
+			return out, fmt.Errorf("orion: topology %q: cmesh takes WxHxC (grid plus concentration), got %d dimensions", spec, len(dims))
+		}
+		out.Width, out.Height = dims[0], dims[1]
+		out.Mesh = true
+		out.Concentration = dims[2]
+	}
+	return out, nil
+}

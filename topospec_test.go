@@ -1,0 +1,68 @@
+package orion
+
+import "testing"
+
+func TestParseTopologySpec(t *testing.T) {
+	cases := []struct {
+		spec string
+		want TopologySpec
+	}{
+		{"torus8x8", TopologySpec{Width: 8, Height: 8}},
+		{"torus4x4x4", TopologySpec{Width: 4, Height: 4, Depth: 4}},
+		{"mesh32x32", TopologySpec{Width: 32, Height: 32, Mesh: true}},
+		{"cmesh8x8x4", TopologySpec{Width: 8, Height: 8, Mesh: true, Concentration: 4}},
+		{"CMesh8x8x4", TopologySpec{Width: 8, Height: 8, Mesh: true, Concentration: 4}},
+		{" Torus16x4 ", TopologySpec{Width: 16, Height: 4}},
+	}
+	for _, tc := range cases {
+		got, err := ParseTopologySpec(tc.spec)
+		if err != nil {
+			t.Errorf("ParseTopologySpec(%q): %v", tc.spec, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseTopologySpec(%q) = %+v, want %+v", tc.spec, got, tc.want)
+		}
+	}
+}
+
+func TestParseTopologySpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",             // no kind
+		"ring8",        // unknown kind
+		"torus8",       // too few dimensions
+		"torus2x2x2x2", // too many dimensions
+		"mesh8x8x2",    // mesh with three dimensions (cmesh spelling required)
+		"cmesh8x8",     // cmesh without concentration
+		"mesh0x8",      // non-positive dimension
+		"mesh8x-2",     // negative dimension
+		"meshaxb",      // non-numeric
+	} {
+		if _, err := ParseTopologySpec(spec); err == nil {
+			t.Errorf("ParseTopologySpec(%q): expected error", spec)
+		}
+	}
+}
+
+// TestTopologySpecApplyOverrides checks Apply clears shape fields the
+// spec does not use — a cmesh preset overridden to a plain torus must
+// not leak Mesh or Concentration.
+func TestTopologySpecApplyOverrides(t *testing.T) {
+	cfg := OnChipCMesh(4, 4, 4, VC8(), 0.01)
+	spec, err := ParseTopologySpec("torus8x8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Apply(&cfg)
+	if cfg.Width != 8 || cfg.Height != 8 || cfg.Depth != 0 || cfg.Mesh || cfg.Concentration != 0 {
+		t.Errorf("Apply left stale shape: %+v", cfg)
+	}
+	if _, err := Run(applySmallSample(cfg)); err != nil {
+		t.Fatalf("overridden config does not run: %v", err)
+	}
+}
+
+func applySmallSample(cfg Config) Config {
+	cfg.Sim.SamplePackets = 50
+	return cfg
+}

@@ -28,11 +28,16 @@ func (cfg Config) Validate() error {
 	// after an 8-billion-element allocation.
 	const maxNodes = 1 << 20
 	check(cfg.Width <= maxNodes && cfg.Height <= maxNodes && cfg.Depth <= maxNodes &&
-		int64(cfg.Width)*int64(cfg.Height)*int64(max(cfg.Depth, 1)) <= maxNodes,
+		cfg.Concentration <= maxNodes &&
+		int64(cfg.Width)*int64(cfg.Height)*int64(max(cfg.Depth, 1))*int64(max(cfg.Concentration, 1)) <= maxNodes,
 		"Width/Height/Depth", "topology of %d×%d×%d nodes exceeds the %d-node limit",
-		cfg.Width, cfg.Height, max(cfg.Depth, 1), maxNodes)
+		cfg.Width, cfg.Height, max(cfg.Depth, 1)*max(cfg.Concentration, 1), maxNodes)
 	check(!(cfg.Depth > 1 && cfg.Mesh), "Depth",
 		"3-D networks are torus only")
+	check(cfg.Concentration >= 0, "Concentration",
+		"must not be negative, got %d", cfg.Concentration)
+	check(cfg.Concentration <= 1 || cfg.Mesh, "Concentration",
+		"requires Mesh (concentrated torus is not supported)")
 	check(cfg.Router.VCs >= 0, "Router.VCs", "must not be negative, got %d", cfg.Router.VCs)
 	check(cfg.Router.BufferDepth >= 0, "Router.BufferDepth",
 		"must not be negative, got %d", cfg.Router.BufferDepth)
