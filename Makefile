@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race race-workers fuzz-smoke bench-smoke bench bench-compare ci
+.PHONY: build vet test race race-workers fuzz-smoke bench-smoke bench bench-compare distributed-sweep ci
 
 build:
 	$(GO) build ./...
@@ -23,11 +23,19 @@ race-workers:
 	ORION_INVARIANTS=1 ORION_WORKERS=4 $(GO) test -race ./...
 
 # Short fuzz pass over every parser that accepts external input (config
-# JSON, fault specs, trace files); CI runs the same three targets.
+# JSON, fault specs, trace files, journal formats); CI runs the same
+# targets.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzLoadConfigJSON -fuzztime 10s .
 	$(GO) test -run '^$$' -fuzz FuzzParseFaultSpec -fuzztime 10s .
 	$(GO) test -run '^$$' -fuzz FuzzParseTrace -fuzztime 10s ./internal/traffic
+	$(GO) test -run '^$$' -fuzz FuzzJournalLine -fuzztime 10s .
+	$(GO) test -run '^$$' -fuzz FuzzQueueLine -fuzztime 10s ./internal/queue
+
+# End-to-end distributed-sweep chaos gate: 4 worker processes, two
+# SIGKILLed mid-run, merged CSV byte-identical to a clean sweep.
+distributed-sweep:
+	scripts/distributed_sweep.sh
 
 # A fast allocation-regression check: the Publish and router-tick
 # micro-benchmarks must report 0 allocs/op (also pinned by the

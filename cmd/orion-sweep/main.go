@@ -15,6 +15,17 @@
 //	# Crash-safe sweep: journal each completed point, resume after a kill:
 //	orion-sweep -preset vc64 -journal sweep.jsonl -resume -csv curve.csv
 //
+//	# Distributed sweep: 4 worker processes share one work-queue journal;
+//	# killed workers lose their leases and survivors re-run their points:
+//	orion-sweep -preset vc64 -distributed 4 -journal sweep.wal -csv curve.csv
+//
+//	# Extra workers may join the same queue from other machines on a
+//	# shared filesystem (same config flags, same rates):
+//	orion-sweep -preset vc64 -worker -journal sweep.wal
+//
+//	# Inspect a crashed or in-flight sweep:
+//	orion-sweep -status -journal sweep.wal
+//
 // SIGINT/SIGTERM cancel the in-flight points, flush the journal and
 // partial results (table and CSV), and exit with status 128+signal.
 // A journaled sweep restarted with -resume skips every point the journal
@@ -28,10 +39,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
+	"time"
 
 	"orion"
 	"orion/internal/prof"
@@ -69,6 +83,15 @@ var (
 	retries     = flag.Int("retries", 1, "retries per transiently-failed point (journaled sweeps; panic or point timeout only)")
 	workers     = flag.Int("workers", 0,
 		"parallel tick workers per point (0 = 1: the sweep already runs points on all cores; results are identical at any count)")
+
+	distributed = flag.Int("distributed", 0,
+		"run N worker subprocesses against the shared -journal work queue and merge their results")
+	workerMode = flag.Bool("worker", false,
+		"join the -journal work queue as one worker (spawned by -distributed, or by hand on a shared filesystem)")
+	statusMode = flag.Bool("status", false,
+		"print per-point state of the -journal sweep (done/failed/claimed/pending) and exit")
+	leaseDur = flag.Duration("lease", 5*time.Second,
+		"work-queue claim lease: a worker silent this long is presumed dead and its points are stolen")
 )
 
 func fail(format string, args ...any) {
@@ -197,11 +220,23 @@ func run() (status int) {
 		rates = append(rates, r)
 	}
 
+	if *workerMode && *distributed > 0 {
+		fail("-worker and -distributed are mutually exclusive")
+	}
+	if (*workerMode || *distributed > 0 || *statusMode) && *journalPath == "" {
+		fail("-worker, -distributed and -status require -journal")
+	}
+	if *statusMode {
+		return printStatus(*journalPath)
+	}
+
 	zl, err := orion.ZeroLoadLatency(cfg)
 	if err != nil {
 		fail("zero-load: %v", err)
 	}
-	fmt.Printf("zero-load latency: %.2f cycles\n", zl)
+	if !*workerMode {
+		fmt.Printf("zero-load latency: %.2f cycles\n", zl)
+	}
 
 	// SIGINT/SIGTERM cancel the sweep context; in-flight points abort,
 	// the journal keeps every already-completed point, and the partial
@@ -222,9 +257,40 @@ func run() (status int) {
 		cancel()
 	}()
 
+	if *workerMode {
+		// Worker mode is quiet: no table, no CSV — the coordinator (or
+		// whoever merges the queue) owns the output. The worker claims,
+		// heartbeats, runs and commits points until the queue is drained
+		// or it is told to stop.
+		cfg.Sim.PointRetries = *retries
+		stats, werr := orion.SweepWorker(ctx, cfg, rates,
+			orion.SweepWorkerOptions{Path: *journalPath, Lease: *leaseDur})
+		fmt.Fprintf(os.Stderr, "orion-sweep: worker %d: %d claims (%d steals), %d commits, %d leases lost\n",
+			os.Getpid(), stats.Claims, stats.Steals, stats.Commits, stats.LeasesLost)
+		if werr != nil && !errors.Is(werr, context.Canceled) {
+			fail("worker: %v", werr)
+		}
+		select {
+		case s := <-caught:
+			if ss, ok := s.(syscall.Signal); ok {
+				return 128 + int(ss)
+			}
+			return 1
+		default:
+		}
+		return 0
+	}
+
 	var results []*orion.Result
 	var sweepErr error
-	if *journalPath != "" {
+	switch {
+	case *distributed > 0:
+		cfg.Sim.PointRetries = *retries
+		results, sweepErr = runCoordinator(ctx, cfg, rates)
+		if results == nil && sweepErr != nil {
+			fail("%v", sweepErr)
+		}
+	case *journalPath != "":
 		cfg.Sim.PointRetries = *retries
 		if *resumeJrnl {
 			if n, jerr := orion.JournalPoints(*journalPath); jerr != nil {
@@ -235,7 +301,7 @@ func run() (status int) {
 		}
 		results, sweepErr = orion.SweepJournaledContext(ctx, cfg, rates,
 			orion.SweepJournalOptions{Path: *journalPath, Resume: *resumeJrnl})
-	} else {
+	default:
 		results, sweepErr = orion.SweepContext(ctx, cfg, rates)
 	}
 	if results == nil && sweepErr != nil {
@@ -293,6 +359,222 @@ func run() (status int) {
 		return 1
 	default:
 	}
+	return 0
+}
+
+// runCoordinator is -distributed N: it initialises the shared work-queue
+// journal, spawns N worker subprocesses of this same binary (argv with
+// the coordinator-only flags stripped and -worker added), respawns
+// crashed workers from a bounded budget, and merges the committed
+// results once every point settles. A worker killed mid-point stops
+// heartbeating; its lease expires and a survivor steals and re-runs the
+// point, so the merged curve is byte-identical to a clean
+// single-process sweep.
+func runCoordinator(ctx context.Context, cfg orion.Config, rates []float64) ([]*orion.Result, error) {
+	n := *distributed
+	if *resumeJrnl {
+		if st, err := orion.JournalStatus(*journalPath); err == nil && len(st) > 0 {
+			settled := 0
+			for _, p := range st {
+				if p.State == "done" || p.State == "failed" {
+					settled++
+				}
+			}
+			fmt.Printf("journal: resuming %s, %d/%d points settled\n", *journalPath, settled, len(st))
+		}
+	}
+	if err := orion.CreateSweepQueue(*journalPath, cfg, rates, *resumeJrnl); err != nil {
+		return nil, err
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("locating worker binary: %w", err)
+	}
+	args := workerArgs(os.Args[1:])
+	fmt.Printf("distributed: %d workers on %s\n", n, *journalPath)
+
+	// wctx governs the worker fleet: cancelling it SIGTERMs the children
+	// (they drop their claims and exit). waitCtx governs the merge wait:
+	// the reaper cancels it if the fleet dies for good, so the
+	// coordinator returns a partial merge instead of waiting forever.
+	wctx, stopWorkers := context.WithCancel(ctx)
+	defer stopWorkers()
+	waitCtx, stopWait := context.WithCancel(ctx)
+	defer stopWait()
+
+	var mu sync.Mutex
+	procs := make(map[int]*os.Process)
+	live, budget := 0, 2*n+2
+	exits := make(chan error, 4*n+4)
+	spawn := func() error {
+		cmd := exec.Command(exe, args...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return err
+		}
+		pid := cmd.Process.Pid
+		mu.Lock()
+		procs[pid] = cmd.Process
+		live++
+		budget--
+		mu.Unlock()
+		go func() {
+			werr := cmd.Wait()
+			mu.Lock()
+			delete(procs, pid)
+			live--
+			mu.Unlock()
+			exits <- werr
+		}()
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		if err := spawn(); err != nil {
+			stopWorkers()
+			return nil, fmt.Errorf("spawning worker: %w", err)
+		}
+	}
+	go func() {
+		<-wctx.Done()
+		mu.Lock()
+		for _, p := range procs {
+			_ = p.Signal(syscall.SIGTERM)
+		}
+		mu.Unlock()
+	}()
+	// Reap worker exits. A crash (non-zero exit, coordinator not
+	// cancelled) is logged and the worker replaced while the budget
+	// lasts; the crashed worker's in-flight point comes back via lease
+	// expiry. When the fleet is gone and cannot be rebuilt, stop the
+	// merge wait — either the queue is already complete (clean exits) or
+	// nothing is left to finish it.
+	go func() {
+		for {
+			select {
+			case <-waitCtx.Done():
+				return
+			case werr := <-exits:
+				mu.Lock()
+				l, b := live, budget
+				mu.Unlock()
+				if werr != nil && wctx.Err() == nil {
+					if b > 0 {
+						fmt.Fprintf(os.Stderr, "orion-sweep: worker died (%v); respawning (%d respawns left)\n", werr, b)
+						if serr := spawn(); serr == nil {
+							continue
+						}
+					} else {
+						fmt.Fprintf(os.Stderr, "orion-sweep: worker died (%v); respawn budget exhausted\n", werr)
+					}
+				}
+				if l == 0 {
+					stopWait()
+					return
+				}
+			}
+		}
+	}()
+
+	results, sweepErr := orion.SweepQueueWait(waitCtx, cfg, rates, *journalPath, 0)
+	// Workers notice completion themselves on their next queue scan; give
+	// them a moment to exit cleanly before resorting to SIGTERM.
+	for deadline := time.Now().Add(3 * time.Second); time.Now().Before(deadline); {
+		mu.Lock()
+		l := live
+		mu.Unlock()
+		if l == 0 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	stopWorkers()
+	// Drain the fleet so no worker outlives the coordinator.
+	for {
+		mu.Lock()
+		l := live
+		mu.Unlock()
+		if l == 0 {
+			break
+		}
+		select {
+		case <-exits:
+		case <-time.After(5 * time.Second):
+			mu.Lock()
+			for _, p := range procs {
+				_ = p.Kill()
+			}
+			mu.Unlock()
+		}
+	}
+	if sweepErr != nil && errors.Is(sweepErr, context.Canceled) && ctx.Err() == nil {
+		sweepErr = fmt.Errorf("worker fleet exited before completing the sweep: %w", sweepErr)
+	}
+	return results, sweepErr
+}
+
+// workerArgs strips the coordinator-only flags from argv and appends
+// -worker, producing the command line for a worker subprocess: same
+// configuration, rates, journal, lease and retries; no -distributed
+// (workers do not recurse), no output or profile flags, and no -resume
+// or -status (the coordinator already prepared the queue).
+func workerArgs(argv []string) []string {
+	valueFlags := map[string]bool{"distributed": true, "csv": true, "cpuprofile": true, "memprofile": true}
+	boolFlags := map[string]bool{"resume": true, "status": true, "worker": true}
+	var out []string
+	for i := 0; i < len(argv); i++ {
+		arg := argv[i]
+		if len(arg) < 2 || arg[0] != '-' {
+			out = append(out, arg)
+			continue
+		}
+		name := strings.TrimLeft(arg, "-")
+		if eq := strings.IndexByte(name, '='); eq >= 0 {
+			if valueFlags[name[:eq]] || boolFlags[name[:eq]] {
+				continue
+			}
+			out = append(out, arg)
+			continue
+		}
+		if boolFlags[name] {
+			continue
+		}
+		if valueFlags[name] {
+			i++ // the flag's value is the next token; drop both
+			continue
+		}
+		out = append(out, arg)
+	}
+	return append(out, "-worker")
+}
+
+// printStatus is -status: the per-point state of a sweep journal (either
+// format), for inspecting a crashed or in-flight sweep.
+func printStatus(path string) int {
+	pts, err := orion.JournalStatus(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	if len(pts) == 0 {
+		fmt.Printf("journal %s: empty or missing\n", path)
+		return 0
+	}
+	fmt.Printf("%5s %8s %-8s %-24s %s\n", "point", "rate", "state", "worker", "detail")
+	settled := 0
+	for _, p := range pts {
+		detail := ""
+		switch {
+		case p.State == "failed":
+			detail = p.Err
+		case p.State == "claimed" && p.LeaseExpired:
+			detail = "lease expired (stealable)"
+		}
+		if p.State == "done" || p.State == "failed" {
+			settled++
+		}
+		fmt.Printf("%5d %8.3f %-8s %-24s %s\n", p.Index, p.Rate, p.State, p.Worker, detail)
+	}
+	fmt.Printf("%d/%d points settled\n", settled, len(pts))
 	return 0
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"orion/internal/core"
 	"orion/internal/fault"
+	"orion/internal/queue"
 	"orion/internal/snap"
 )
 
@@ -64,6 +65,23 @@ var (
 	// in its interior, or a header whose configuration digest does not
 	// match the resuming sweep.
 	ErrJournal = errors.New("orion: journal rejected")
+)
+
+// Sentinels for the distributed work-queue layer (internal/queue). Both
+// are raised wrapped alongside ErrJournal where a journal file is being
+// rejected, so existing errors.Is(err, ErrJournal) call sites keep
+// working.
+var (
+	// ErrStaleJournal marks a structurally valid sweep journal or queue
+	// file that belongs to a different sweep: its configuration digest or
+	// rate list does not match the joining worker or resuming
+	// coordinator.
+	ErrStaleJournal = queue.ErrStale
+	// ErrLeaseLost marks a worker's commit attempt after its claim was
+	// stolen — the worker was paused or stalled past its lease, another
+	// worker took the point over, and this result must be discarded so
+	// exactly one committed result per point ever takes effect.
+	ErrLeaseLost = queue.ErrLeaseLost
 )
 
 // DivergenceError is the structured diagnostic behind ErrDiverged: the

@@ -1,0 +1,222 @@
+package queue
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+)
+
+// File is one worker's handle on a shared queue journal. Appends go
+// through a single O_APPEND file descriptor — one write() per record, so
+// records from concurrent workers interleave at line granularity, never
+// within a line — and every append is fsynced before the protocol step
+// it represents is considered taken. Reads always re-read the file from
+// scratch: the file is the only shared state.
+type File struct {
+	path string
+	f    *os.File
+	hdr  Header
+}
+
+// Create initialises a queue journal at path. With fresh set, any
+// existing file is truncated and a new header written — the caller is
+// starting the sweep over. Without fresh, an existing file is joined
+// (its header must match hdr) and a missing one is created; this is the
+// create-or-resume mode a coordinator uses.
+func Create(path string, hdr Header, fresh bool) (*File, error) {
+	hdr.Version = Version
+	if !fresh {
+		if _, err := os.Stat(path); err == nil {
+			return Open(path, hdr)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("%w: stat %s: %v", ErrQueue, path, err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("%w: creating %s: %v", ErrQueue, path, err)
+	}
+	qf := &File{path: path, f: f, hdr: hdr}
+	line, err := json.Marshal(hdr)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: encoding header: %v", ErrQueue, err)
+	}
+	if err := qf.append(line); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return qf, nil
+}
+
+// Open joins an existing queue journal, validating that its header names
+// the same sweep as want: a version or structural problem fails with
+// ErrQueue, a config-digest or rate-list mismatch with ErrStale.
+func Open(path string, want Header) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading %s: %v", ErrQueue, path, err)
+	}
+	st, err := DecodeState(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if want.ConfigDigest != "" && st.Header.ConfigDigest != want.ConfigDigest {
+		return nil, fmt.Errorf("%w: %s was written for a different configuration (digest %s, want %s)",
+			ErrStale, path, st.Header.ConfigDigest, want.ConfigDigest)
+	}
+	if want.Rates != nil && !EqualRates(st.Header.Rates, want.Rates) {
+		return nil, fmt.Errorf("%w: %s was written for a different rate list", ErrStale, path)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("%w: opening %s for append: %v", ErrQueue, path, err)
+	}
+	return &File{path: path, f: f, hdr: st.Header}, nil
+}
+
+// Close releases the append descriptor. The journal itself persists.
+func (q *File) Close() error { return q.f.Close() }
+
+// Path returns the journal path.
+func (q *File) Path() string { return q.path }
+
+// Header returns the journal's validated header.
+func (q *File) Header() Header { return q.hdr }
+
+// append writes one line (single write syscall) and fsyncs it — the
+// write-ahead property every protocol step depends on.
+func (q *File) append(line []byte) error {
+	line = append(line, '\n')
+	if _, err := q.f.Write(line); err != nil {
+		return fmt.Errorf("%w: appending to %s: %v", ErrQueue, q.path, err)
+	}
+	if err := q.f.Sync(); err != nil {
+		return fmt.Errorf("%w: syncing %s: %v", ErrQueue, q.path, err)
+	}
+	return nil
+}
+
+// Append encodes and durably appends one record.
+func (q *File) Append(rec Record) error {
+	if err := rec.validate(len(q.hdr.Rates)); err != nil {
+		return err
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("%w: encoding record: %v", ErrQueue, err)
+	}
+	return q.append(line)
+}
+
+// Load re-reads the whole journal and replays it. Safe to call while
+// other workers append: a torn tail (some other worker mid-append) is
+// simply not visible yet.
+func (q *File) Load() (*State, error) {
+	data, err := os.ReadFile(q.path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading %s: %v", ErrQueue, q.path, err)
+	}
+	st, err := DecodeState(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", q.path, err)
+	}
+	return st, nil
+}
+
+// nowMs is the protocol clock, swappable by tests to compress leases.
+var nowMs = func() int64 { return time.Now().UnixMilli() }
+
+// TryClaim appends a claim for idx and arbitrates by re-reading: it
+// returns the post-claim state and whether this worker is now the
+// holder. Losing is not an error — another worker's record landed first.
+func (q *File) TryClaim(idx int, worker string, lease time.Duration) (won bool, st *State, err error) {
+	rec := Record{Kind: KindClaim, Index: idx, Worker: worker, At: nowMs(), LeaseMs: lease.Milliseconds()}
+	if err := q.Append(rec); err != nil {
+		return false, nil, err
+	}
+	st, err = q.Load()
+	if err != nil {
+		return false, nil, err
+	}
+	return st.HolderOf(idx) == worker, st, nil
+}
+
+// Beat renews the lease on idx. Fire-and-forget: if the claim was
+// stolen, the beat is a dead line and the eventual Commit reports
+// ErrLeaseLost.
+func (q *File) Beat(idx int, worker string, lease time.Duration) error {
+	return q.Append(Record{Kind: KindBeat, Index: idx, Worker: worker, At: nowMs(), LeaseMs: lease.Milliseconds()})
+}
+
+// Drop gracefully releases a held claim, returning the point to pending
+// immediately (no lease-expiry wait for the other workers).
+func (q *File) Drop(idx int, worker string) error {
+	return q.Append(Record{Kind: KindDrop, Index: idx, Worker: worker, At: nowMs()})
+}
+
+// Commit settles idx with the worker's result payload. It fails with
+// ErrLeaseLost — and appends nothing — when the worker no longer holds
+// the claim (it paused past its lease and was stolen from); and it
+// verifies after appending that its done record took effect, catching
+// the race where a steal lands between the check and the append. Either
+// way a lease-lost result is discarded and the thief re-runs the point:
+// no double-commit. An append swallowed by a crashed writer's torn line
+// (the record's bytes concatenated onto dead bytes, so no reader sees
+// it) is detected by the same verification and retried while the worker
+// still holds the claim.
+func (q *File) Commit(idx int, worker string, payload json.RawMessage, final bool) error {
+	st, err := q.Load()
+	if err != nil {
+		return err
+	}
+	if st.HolderOf(idx) != worker {
+		return fmt.Errorf("%w: point %d now held by %q, not %q", ErrLeaseLost, idx, st.Points[idx].Holder, worker)
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		if err := q.Append(Record{Kind: KindDone, Index: idx, Worker: worker, At: nowMs(), Payload: payload, Final: final}); err != nil {
+			return err
+		}
+		st, err = q.Load()
+		if err != nil {
+			return err
+		}
+		p := st.Points[idx]
+		if p.Status == Done {
+			if p.Holder != worker {
+				return fmt.Errorf("%w: point %d stolen during commit", ErrLeaseLost, idx)
+			}
+			return nil
+		}
+		if st.HolderOf(idx) != worker {
+			return fmt.Errorf("%w: point %d stolen during commit", ErrLeaseLost, idx)
+		}
+		// Still the holder but the done record is not visible: the append
+		// was swallowed by a torn line. Retry on a fresh line.
+	}
+	return fmt.Errorf("%w: commit for point %d did not take effect after retries", ErrQueue, idx)
+}
+
+// Reset re-opens a non-final (transient-failure) done point, the resume
+// path's re-run request. Resetting a final or unsettled point is a
+// dead line, mirroring the replay rule.
+func (q *File) Reset(idx int) error {
+	return q.Append(Record{Kind: KindReset, Index: idx, At: nowMs()})
+}
+
+// NewWorkerID returns a worker identity unique across hosts and
+// processes: hostname, PID and random bits (two workers in one process,
+// or PID reuse after a crash, must not collide).
+func NewWorkerID() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "unknown"
+	}
+	var r [4]byte
+	rand.Read(r[:])
+	return fmt.Sprintf("%s-%d-%s", host, os.Getpid(), hex.EncodeToString(r[:]))
+}

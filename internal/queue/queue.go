@@ -1,0 +1,354 @@
+// Package queue turns the sweep journal's append-only JSONL format into
+// a shared work-queue protocol: any number of worker processes on a
+// shared filesystem claim sweep points with leased, heartbeat-renewed
+// claim records, steal claims whose leases have expired, and commit
+// results, all over a single append-only file.
+//
+// The protocol is designed so that the authoritative state is a pure
+// function of the file's bytes. Every record carries the wall-clock
+// instant at which its writer appended it; replaying the records in file
+// order — using each record's own timestamp, never the reader's clock —
+// yields the same per-point state for every reader. A reader's local
+// clock is consulted only to decide whether a lease is expired *now*
+// (i.e. whether a steal is worth attempting); the steal itself is just
+// another claim record, and its validity is decided by the timestamps in
+// the file once it lands.
+//
+// Concurrency control is append-with-reread arbitration: a worker
+// appends its claim (a single O_APPEND write, fsynced), re-reads the
+// file, and replays it. If the replay names the worker as the point's
+// holder, it won; otherwise another worker's record landed first and the
+// claim is a dead line in the log. No byte of the file is ever
+// overwritten, so the format inherits (and extends) the journal's
+// torn-tail tolerance: a crash mid-append leaves dead bytes that every
+// reader deterministically skips, and a live writer whose append was
+// concatenated onto a torn line observes — via the same re-read — that
+// its record never took effect, and retries on a fresh line.
+//
+// Replay rules, per point, in file order:
+//
+//	claim  — valid if the point is pending, or claimed with a lease that
+//	         had already expired when the claim was appended (a steal).
+//	         Sets the holder and the lease deadline (at + lease).
+//	beat   — valid only from the current holder; extends the deadline.
+//	         A beat after expiry but before any steal revives the lease:
+//	         expiry never evicts a holder, it only authorises steals.
+//	done   — valid only from the current holder; settles the point and
+//	         records its payload. A done from a superseded worker is a
+//	         dead line — the no-double-commit guarantee.
+//	drop   — valid only from the current holder; returns the point to
+//	         pending (graceful release on cancellation).
+//	reset  — valid on a non-final done; returns the point to pending
+//	         (a resuming coordinator re-opening transient failures).
+package queue
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Version is the work-queue journal format version. It deliberately
+// differs from the single-process sweep journal's version 1, so each
+// reader rejects the other's files with a clear error instead of
+// misinterpreting records.
+const Version = 2
+
+// Typed sentinels. ErrQueue marks a file that is not a queue journal
+// this process can safely extend (corrupt interior line, bad header,
+// malformed record). ErrStale marks a structurally valid journal that
+// belongs to a different sweep (config digest or rate-list mismatch).
+// ErrLeaseLost marks a commit attempt by a worker whose claim was stolen
+// while it ran — the result must be discarded; the thief re-runs the
+// point.
+var (
+	ErrQueue     = errors.New("queue: journal rejected")
+	ErrStale     = errors.New("queue: journal belongs to a different sweep")
+	ErrLeaseLost = errors.New("queue: lease lost, result discarded")
+)
+
+// Header is the queue journal's first line. It matches the sweep
+// journal's header schema (version, config digest, rate list) so the two
+// formats are distinguished by the version number alone.
+type Header struct {
+	Version      int       `json:"version"`
+	ConfigDigest string    `json:"config_digest"`
+	Rates        []float64 `json:"rates"`
+}
+
+// Record kinds.
+const (
+	KindClaim = "claim"
+	KindBeat  = "beat"
+	KindDone  = "done"
+	KindDrop  = "drop"
+	KindReset = "reset"
+)
+
+// Record is one protocol line after the header. At is the writer's
+// wall-clock append instant in Unix milliseconds — the timestamp replay
+// arbitrates with. LeaseMs is the lease duration granted by a claim or
+// beat (deadline = At + LeaseMs). Payload is the committed result of a
+// done record, opaque to this package. Final marks a done that resume
+// must not re-run (a success or a deterministic failure).
+type Record struct {
+	Kind    string          `json:"t"`
+	Index   int             `json:"index"`
+	Worker  string          `json:"w,omitempty"`
+	At      int64           `json:"at_ms,omitempty"`
+	LeaseMs int64           `json:"lease_ms,omitempty"`
+	Payload json.RawMessage `json:"point,omitempty"`
+	Final   bool            `json:"final,omitempty"`
+}
+
+// validate rejects records that no conforming writer emits. Replay
+// depends on every parsed record being well-formed.
+func (r *Record) validate(points int) error {
+	if r.Index < 0 || r.Index >= points {
+		return fmt.Errorf("%w: record index %d outside the %d-point sweep", ErrQueue, r.Index, points)
+	}
+	switch r.Kind {
+	case KindClaim, KindBeat:
+		if r.Worker == "" || r.LeaseMs <= 0 || r.At <= 0 {
+			return fmt.Errorf("%w: %s record missing worker, lease or timestamp", ErrQueue, r.Kind)
+		}
+	case KindDone, KindDrop:
+		if r.Worker == "" {
+			return fmt.Errorf("%w: %s record missing worker", ErrQueue, r.Kind)
+		}
+		if r.Kind == KindDone && len(r.Payload) == 0 {
+			return fmt.Errorf("%w: done record missing payload", ErrQueue)
+		}
+	case KindReset:
+		// No extra fields required.
+	default:
+		return fmt.Errorf("%w: unknown record kind %q", ErrQueue, r.Kind)
+	}
+	return nil
+}
+
+// PointStatus is the replayed state of one sweep point.
+type PointStatus int
+
+const (
+	// Pending: never claimed, or returned by a drop/reset.
+	Pending PointStatus = iota
+	// Claimed: held by Holder until Deadline (or until stolen after it).
+	Claimed
+	// Done: settled with a committed payload.
+	Done
+)
+
+// String renders the status for operator-facing output.
+func (s PointStatus) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Claimed:
+		return "claimed"
+	case Done:
+		return "done"
+	}
+	return fmt.Sprintf("status(%d)", int(s))
+}
+
+// Point is one point's replayed state.
+type Point struct {
+	Status PointStatus
+	// Holder is the worker holding the claim (Claimed) or the worker
+	// that committed the result (Done).
+	Holder string
+	// Deadline is the lease expiry in Unix milliseconds (Claimed only).
+	Deadline int64
+	// Final marks a done that a resume keeps (success or deterministic
+	// failure); a non-final done is re-run by a resuming coordinator.
+	Final bool
+	// Payload is the committed result (Done only), opaque JSON.
+	Payload json.RawMessage
+}
+
+// State is the authoritative queue state: the header plus one replayed
+// Point per sweep rate. It is a pure function of the journal bytes.
+type State struct {
+	Header Header
+	Points []Point
+}
+
+// Complete reports whether every point has a committed result.
+func (s *State) Complete() bool {
+	for i := range s.Points {
+		if s.Points[i].Status != Done {
+			return false
+		}
+	}
+	return true
+}
+
+// DoneCount returns the number of settled points.
+func (s *State) DoneCount() int {
+	n := 0
+	for i := range s.Points {
+		if s.Points[i].Status == Done {
+			n++
+		}
+	}
+	return n
+}
+
+// Holder returns the index's current holder, or "" when unheld.
+func (s *State) HolderOf(idx int) string {
+	if idx < 0 || idx >= len(s.Points) {
+		return ""
+	}
+	p := s.Points[idx]
+	if p.Status != Claimed {
+		return ""
+	}
+	return p.Holder
+}
+
+// Replay folds the records into per-point state under the rules in the
+// package comment. Records were validated at parse time, so indices are
+// in range.
+func Replay(hdr Header, recs []Record) *State {
+	st := &State{Header: hdr, Points: make([]Point, len(hdr.Rates))}
+	for _, r := range recs {
+		p := &st.Points[r.Index]
+		switch r.Kind {
+		case KindClaim:
+			// A claim takes a pending point unconditionally, and a
+			// claimed point only if the lease had already expired when
+			// the claim was appended (a steal). Done points are settled
+			// for good — claims on them are dead lines.
+			if p.Status == Pending || (p.Status == Claimed && r.At > p.Deadline) {
+				p.Status = Claimed
+				p.Holder = r.Worker
+				p.Deadline = r.At + r.LeaseMs
+			}
+		case KindBeat:
+			// Only the holder renews. A beat landing after expiry but
+			// before any steal still renews: expiry authorises steals,
+			// it does not evict.
+			if p.Status == Claimed && p.Holder == r.Worker {
+				p.Deadline = r.At + r.LeaseMs
+			}
+		case KindDone:
+			// Only the holder commits; a stale commit from a superseded
+			// worker is discarded, so exactly one result per point ever
+			// takes effect.
+			if p.Status == Claimed && p.Holder == r.Worker {
+				p.Status = Done
+				p.Deadline = 0
+				p.Payload = r.Payload
+				p.Final = r.Final
+			}
+		case KindDrop:
+			if p.Status == Claimed && p.Holder == r.Worker {
+				*p = Point{Status: Pending}
+			}
+		case KindReset:
+			// Re-open a transient (non-final) failure for a resume.
+			if p.Status == Done && !p.Final {
+				*p = Point{Status: Pending}
+			}
+		}
+	}
+	return st
+}
+
+// DecodeState parses a whole queue-journal image and replays it — the
+// read half of the protocol, shared by Load and the fuzz target.
+//
+// Unlike the single-writer sweep journal, unparsable lines are tolerated
+// anywhere, not just at the tail: in a multi-writer append-only log, a
+// crash can leave a torn line that the next live writer's append is
+// concatenated onto, so dead bytes can end up in the interior. Every
+// reader deterministically skips the same dead bytes, and the
+// append-then-reread arbitration means a writer whose record was
+// swallowed simply observes it never took effect and retries — no state
+// is ever derived from a line that does not parse. What does fail, with
+// ErrQueue: a missing or wrong-version header (the records cannot be
+// interpreted), and a line that parses as a record but violates the
+// schema (an index outside the sweep, an unknown kind) — the signature
+// of a foreign or buggy writer, not of a crash.
+func DecodeState(data []byte) (*State, error) {
+	hdr, recs, err := parseLines(data)
+	if err != nil {
+		return nil, err
+	}
+	if hdr == nil {
+		return nil, fmt.Errorf("%w: empty journal (no header)", ErrQueue)
+	}
+	return Replay(*hdr, recs), nil
+}
+
+// parseLines splits the image into the header and its records under
+// DecodeState's rules. hdr is nil when the image is empty or holds only
+// a torn first line.
+func parseLines(data []byte) (hdr *Header, recs []Record, err error) {
+	for len(data) > 0 {
+		nl := -1
+		for i, b := range data {
+			if b == '\n' {
+				nl = i
+				break
+			}
+		}
+		if nl < 0 {
+			// Unterminated tail: a crash mid-append. Drop it.
+			return hdr, recs, nil
+		}
+		line := data[:nl]
+		data = data[nl+1:]
+		last := len(data) == 0
+		if hdr == nil {
+			if len(line) == 0 {
+				continue
+			}
+			var h Header
+			if uerr := json.Unmarshal(line, &h); uerr != nil || h.Version == 0 {
+				if last {
+					// Torn first line — nothing usable yet.
+					return nil, nil, nil
+				}
+				return nil, nil, fmt.Errorf("%w: file does not start with a queue header", ErrQueue)
+			}
+			if h.Version != Version {
+				return nil, nil, fmt.Errorf("%w: format version %d, this build speaks %d", ErrQueue, h.Version, Version)
+			}
+			hdr = &h
+			continue
+		}
+		var r Record
+		if uerr := json.Unmarshal(line, &r); uerr != nil {
+			// Dead bytes: a torn line, possibly with a live writer's
+			// record concatenated onto it. Deterministically skipped by
+			// every reader; the swallowed writer retries.
+			continue
+		}
+		if verr := r.validate(len(hdr.Rates)); verr != nil {
+			if last {
+				// A torn record can truncate into valid JSON with missing
+				// fields; at the tail that is the crash signature.
+				return hdr, recs, nil
+			}
+			return nil, nil, verr
+		}
+		recs = append(recs, r)
+	}
+	return hdr, recs, nil
+}
+
+// EqualRates compares rate lists exactly; JSON round-trips float64
+// bit-exactly, so equality is the right test.
+func EqualRates(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -2,7 +2,6 @@ package orion
 
 import (
 	"context"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,6 +9,8 @@ import (
 	"os"
 	"runtime"
 	"sync"
+
+	"orion/internal/queue"
 )
 
 // journalVersion is the sweep-journal format version. Bump it when a line
@@ -232,13 +233,10 @@ func SweepJournaledContext(ctx context.Context, cfg Config, rates []float64, opt
 	// overrides the rate per point, so two sweeps of the same config at
 	// different rate lists share a digest and differ in the header's
 	// explicit rate list instead.
-	normCfg := cfg
-	normCfg.Traffic.Rate = 0
-	digest, err := ConfigDigest(normCfg)
+	hexDigest, err := sweepConfigDigest(cfg)
 	if err != nil {
 		return nil, err
 	}
-	hexDigest := hex.EncodeToString(digest)
 
 	results := make([]*Result, len(rates))
 	errs := make([]error, len(rates))
@@ -252,16 +250,21 @@ func SweepJournaledContext(ctx context.Context, cfg Config, rates []float64, opt
 			return nil, err
 		}
 		if st.hasHeader {
+			if st.header.Version == queue.Version {
+				return nil, fmt.Errorf("%w: %s is a distributed work-queue journal; resume it with -distributed or -worker",
+					ErrJournal, opts.Path)
+			}
 			if st.header.Version != journalVersion {
 				return nil, fmt.Errorf("%w: %s has format version %d, this build writes %d",
 					ErrJournal, opts.Path, st.header.Version, journalVersion)
 			}
 			if st.header.ConfigDigest != hexDigest {
-				return nil, fmt.Errorf("%w: %s was written for a different configuration (digest %s, want %s)",
-					ErrJournal, opts.Path, st.header.ConfigDigest, hexDigest)
+				return nil, fmt.Errorf("%w: %w: %s was written for a different configuration (digest %s, want %s)",
+					ErrJournal, ErrStaleJournal, opts.Path, st.header.ConfigDigest, hexDigest)
 			}
 			if !equalRates(st.header.Rates, rates) {
-				return nil, fmt.Errorf("%w: %s was written for a different rate list", ErrJournal, opts.Path)
+				return nil, fmt.Errorf("%w: %w: %s was written for a different rate list",
+					ErrJournal, ErrStaleJournal, opts.Path)
 			}
 			for _, p := range st.points {
 				if p.Index < 0 || p.Index >= len(rates) {
@@ -359,16 +362,7 @@ func SweepJournaledContext(ctx context.Context, cfg Config, rates []float64, opt
 	close(idx)
 	wg.Wait()
 
-	var serr *SweepError
-	for i, err := range errs {
-		if err != nil {
-			if serr == nil {
-				serr = &SweepError{}
-			}
-			serr.Rates = append(serr.Rates, rates[i])
-			serr.Errs = append(serr.Errs, err)
-		}
-	}
+	serr := collectSweepError(rates, errs)
 	switch {
 	case jerr != nil && serr != nil:
 		return results, errors.Join(jerr, serr)
@@ -380,11 +374,27 @@ func SweepJournaledContext(ctx context.Context, cfg Config, rates []float64, opt
 	return results, nil
 }
 
-// JournalPoints returns the number of intact point lines recorded in a
-// sweep journal — progress reporting for a resume, before the sweep
-// starts. A missing or empty journal counts zero; a malformed one fails
-// with an error wrapping ErrJournal.
+// JournalPoints returns the number of settled points recorded in a sweep
+// journal — progress reporting for a resume, before the sweep starts. It
+// understands both the single-process write-ahead format (version 1,
+// counting intact point lines) and the distributed work-queue format
+// (version 2, counting committed points). A missing or empty journal
+// counts zero; a malformed one fails with an error wrapping ErrJournal.
 func JournalPoints(path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("%w: reading %s: %v", ErrJournal, path, err)
+	}
+	if journalImageVersion(data) == queue.Version {
+		st, err := queue.DecodeState(data)
+		if err != nil {
+			return 0, wrapQueueErr(err)
+		}
+		return st.DoneCount(), nil
+	}
 	st, err := readJournal(path)
 	if err != nil {
 		return 0, err

@@ -517,6 +517,17 @@ func SweepContext(ctx context.Context, cfg Config, rates []float64) ([]*Result, 
 	close(idx)
 	wg.Wait()
 
+	if serr := collectSweepError(rates, errs); serr != nil {
+		return results, serr
+	}
+	return results, nil
+}
+
+// collectSweepError aggregates per-point failures into a *SweepError in
+// rate order, or nil when every point succeeded. Shared by the plain,
+// journaled and distributed sweep paths so all three report failures
+// identically.
+func collectSweepError(rates []float64, errs []error) *SweepError {
 	var serr *SweepError
 	for i, err := range errs {
 		if err != nil {
@@ -527,10 +538,7 @@ func SweepContext(ctx context.Context, cfg Config, rates []float64) ([]*Result, 
 			serr.Errs = append(serr.Errs, err)
 		}
 	}
-	if serr != nil {
-		return results, serr
-	}
-	return results, nil
+	return serr
 }
 
 // errPointPanic marks a sweep point whose worker panicked — a transient

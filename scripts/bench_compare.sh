@@ -6,8 +6,10 @@
 # file scripts/bench.sh writes). The gate fails — exit 1, offenders
 # listed — when any gated benchmark is more than BENCH_TOLERANCE_PCT
 # slower than its baseline. Benchmarks present in only one of the two
-# sets are reported (missing-baseline entries as an explicit warning) but
-# never fail the gate, so adding a new benchmark does not require
+# sets are surfaced as explicit WARNINGs — both a new benchmark with no
+# baseline yet, and a gated benchmark whose baseline exists but which
+# this run failed to produce (renamed, deleted, or its package broke) —
+# but never fail the gate, so adding a new benchmark does not require
 # regenerating the baseline in the same change.
 #
 # Gated benchmarks (ns/op only; B/op and allocs/op are locked down
@@ -67,6 +69,7 @@ BEGIN {
                   gatelist, " ")
     for (i = 1; i <= ngate; i++) gate[gatelist[i]] = 1
     fails = 0
+    missing = 0
 }
 # Pass 1: the baseline JSON.
 FNR == NR {
@@ -95,6 +98,9 @@ END {
         }
         if (!(name in cur)) {
             printf "%-34s %14.1f %14s %9s\n", name, base[name], "-", "not run"
+            printf "WARNING: gated benchmark %s has a baseline but was not produced by this run —\n", name
+            printf "         it was renamed, deleted, or its package failed to build; the gate cannot cover it\n"
+            missing++
             continue
         }
         delta = (cur[name] - base[name]) * 100.0 / base[name]
@@ -114,5 +120,8 @@ END {
         printf "If the slowdown is intentional, refresh the baseline: scripts/bench.sh\n"
         exit 1
     }
-    printf "\nbench gate OK: no ns/op regression beyond %s%%.\n", tol
+    if (missing > 0)
+        printf "\nbench gate OK with %d WARNING(s): some gated benchmarks were not measured (see above).\n", missing
+    else
+        printf "\nbench gate OK: no ns/op regression beyond %s%%.\n", tol
 }' "$BASE" "$RAW"

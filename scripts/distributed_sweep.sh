@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# distributed_sweep.sh — end-to-end distributed-sweep chaos check.
+#
+# Builds orion-sweep, records a clean single-process sweep's CSV, then
+# runs the same sweep through the work-queue protocol with 4 real worker
+# processes sharing one queue journal, SIGKILLs two of the workers while
+# the sweep is in flight, and requires the merged CSV to be
+# byte-identical to the clean one. This is the CI gate for the
+# distributed-sweep guarantee: a killed worker's leases expire, the
+# survivors (plus the coordinator's respawns) steal and re-run its
+# points, and exactly one committed result per point ever lands — so the
+# merged curve is indistinguishable from a sweep that never saw a crash.
+#
+# Usage: scripts/distributed_sweep.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+go build -o "$WORK/orion-sweep" ./cmd/orion-sweep
+
+# Enough samples that each point runs for a second or two, so the kills
+# land while workers hold live claims; a short lease so stolen points
+# come back quickly.
+ARGS=(-preset vc16 -samples 40000 -rates 0.02,0.04,0.06,0.08,0.10,0.12)
+
+echo "== clean run"
+"$WORK/orion-sweep" "${ARGS[@]}" -csv "$WORK/clean.csv" > "$WORK/clean.out"
+
+echo "== distributed run: 4 workers, SIGKILL two mid-sweep"
+"$WORK/orion-sweep" "${ARGS[@]}" -distributed 4 -lease 2s \
+    -journal "$WORK/sweep.wal" -csv "$WORK/dist.csv" \
+    > "$WORK/dist.out" 2>&1 &
+COORD=$!
+
+# Wait until worker subprocesses exist, then SIGKILL two of them at
+# staggered moments mid-run. Workers are children of the coordinator
+# running the same binary with -worker in their argv.
+find_workers() {
+    pgrep -P "$COORD" -f -- '-worker' 2>/dev/null || true
+}
+killed=0
+for _ in $(seq 1 600); do
+    if ! kill -0 "$COORD" 2>/dev/null; then
+        break
+    fi
+    workers=($(find_workers))
+    if [ "${#workers[@]}" -ge 2 ] && [ "$killed" -lt 2 ]; then
+        victim="${workers[$((RANDOM % ${#workers[@]}))]}"
+        if kill -9 "$victim" 2>/dev/null; then
+            killed=$((killed + 1))
+            echo "SIGKILLed worker $victim ($killed/2)"
+            sleep 0.7
+            continue
+        fi
+    fi
+    if [ "$killed" -ge 2 ]; then
+        break
+    fi
+    sleep 0.1
+done
+if [ "$killed" -lt 2 ]; then
+    echo "note: only $killed worker(s) killed before the sweep finished" >&2
+fi
+
+wait "$COORD"
+cat "$WORK/dist.out"
+
+if ! grep -q 'respawning' "$WORK/dist.out" && [ "$killed" -gt 0 ]; then
+    echo "note: coordinator did not log a respawn (workers may have died between points)" >&2
+fi
+
+echo "== status after completion"
+"$WORK/orion-sweep" -status -journal "$WORK/sweep.wal" | tee "$WORK/status.out"
+if ! grep -q '^6/6 points settled' "$WORK/status.out"; then
+    echo "FAIL: queue journal does not show every point settled" >&2
+    exit 1
+fi
+
+if ! diff "$WORK/clean.csv" "$WORK/dist.csv"; then
+    echo "FAIL: distributed CSV differs from the single-process run" >&2
+    exit 1
+fi
+echo "PASS: distributed sweep with $killed killed workers is byte-identical to the clean run"
