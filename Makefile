@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race race-workers fuzz-smoke bench-smoke bench bench-compare distributed-sweep ci
+.PHONY: build vet test race race-workers fuzz-smoke bench-smoke bench bench-compare distributed-sweep serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -31,11 +31,18 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParseTrace -fuzztime 10s ./internal/traffic
 	$(GO) test -run '^$$' -fuzz FuzzJournalLine -fuzztime 10s .
 	$(GO) test -run '^$$' -fuzz FuzzQueueLine -fuzztime 10s ./internal/queue
+	$(GO) test -run '^$$' -fuzz FuzzServeRequest -fuzztime 10s ./internal/serve
 
 # End-to-end distributed-sweep chaos gate: 4 worker processes, two
 # SIGKILLed mid-run, merged CSV byte-identical to a clean sweep.
 distributed-sweep:
 	scripts/distributed_sweep.sh
+
+# End-to-end daemon smoke: repeated request served from the result
+# cache, typed timeout code under a short deadline, graceful SIGTERM
+# drain with exit 0, cache entries surviving a restart.
+serve-smoke:
+	scripts/serve_smoke.sh
 
 # A fast allocation-regression check: the Publish and router-tick
 # micro-benchmarks must report 0 allocs/op (also pinned by the

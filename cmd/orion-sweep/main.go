@@ -30,6 +30,10 @@
 // partial results (table and CSV), and exit with status 128+signal.
 // A journaled sweep restarted with -resume skips every point the journal
 // already records as completed.
+//
+// Exit status: 0 success; 1 errors; 128+signal when interrupted. With
+// -status: 0 healthy, 3 when any journal point failed, 4 when any
+// worker lease has expired (and no point failed).
 package main
 
 import (
@@ -123,9 +127,30 @@ func main() {
 
 // run is main's body, returning the process exit status so deferred
 // cleanup (profile flush, journal close) still happens before os.Exit.
-// Interrupted sweeps exit 128+signal after flushing partial results.
+// Interrupted sweeps exit 128+signal after flushing partial results;
+// -status exits 3 when the journal records failed points and 4 when it
+// records expired leases (and no failures).
 func run() (status int) {
 	flag.Parse()
+	// Validate numeric flags at parse time: a zero or negative lease
+	// would make every claim instantly stealable and a negative worker
+	// count or retry budget is meaningless — fail fast with the field
+	// named, before any journal is touched or process spawned.
+	if *leaseDur <= 0 {
+		fail("-lease: must be positive, got %v", *leaseDur)
+	}
+	if *retries < 0 {
+		fail("-retries: must not be negative, got %d", *retries)
+	}
+	if *workers < 0 {
+		fail("-workers: must not be negative, got %d", *workers)
+	}
+	if *distributed < 0 {
+		fail("-distributed: must not be negative, got %d", *distributed)
+	}
+	if *pointTmo < 0 {
+		fail("-point-timeout: must not be negative, got %v", *pointTmo)
+	}
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		fail("%v", err)
@@ -549,7 +574,11 @@ func workerArgs(argv []string) []string {
 }
 
 // printStatus is -status: the per-point state of a sweep journal (either
-// format), for inspecting a crashed or in-flight sweep.
+// format), for inspecting a crashed or in-flight sweep. The exit status
+// is machine-readable health: 0 when every point is done, pending or
+// freshly claimed; 3 when any point failed; 4 when any claim's lease has
+// expired (a worker presumed dead) and nothing failed — so scripts and
+// monitors can branch on a sweep's health without parsing the table.
 func printStatus(path string) int {
 	pts, err := orion.JournalStatus(path)
 	if err != nil {
@@ -560,14 +589,16 @@ func printStatus(path string) int {
 		return 0
 	}
 	fmt.Printf("%5s %8s %-8s %-24s %s\n", "point", "rate", "state", "worker", "detail")
-	settled := 0
+	settled, failed, expired := 0, 0, 0
 	for _, p := range pts {
 		detail := ""
 		switch {
 		case p.State == "failed":
 			detail = p.Err
+			failed++
 		case p.State == "claimed" && p.LeaseExpired:
 			detail = "lease expired (stealable)"
+			expired++
 		}
 		if p.State == "done" || p.State == "failed" {
 			settled++
@@ -575,6 +606,14 @@ func printStatus(path string) int {
 		fmt.Printf("%5d %8.3f %-8s %-24s %s\n", p.Index, p.Rate, p.State, p.Worker, detail)
 	}
 	fmt.Printf("%d/%d points settled\n", settled, len(pts))
+	switch {
+	case failed > 0:
+		fmt.Printf("unhealthy: %d failed point(s)\n", failed)
+		return 3
+	case expired > 0:
+		fmt.Printf("unhealthy: %d expired lease(s)\n", expired)
+		return 4
+	}
 	return 0
 }
 

@@ -39,6 +39,15 @@ func sweepConfigDigest(cfg Config) (string, error) {
 	return hex.EncodeToString(digest), nil
 }
 
+// SweepConfigDigest is the exported form of the digest that binds sweep
+// journals and work-queue files to one configuration: the hex SHA-256 of
+// the canonical config JSON with the injection rate normalised to zero.
+// The serving layer keys its sweep result cache with it so a served sweep
+// and an on-disk journal of the same configuration share an identity.
+func SweepConfigDigest(cfg Config) (string, error) {
+	return sweepConfigDigest(cfg)
+}
+
 // sweepQueueHeader builds the queue-journal header identifying this
 // sweep.
 func sweepQueueHeader(cfg Config, rates []float64) (queue.Header, error) {

@@ -42,6 +42,13 @@ var (
 	ErrFaulted = fault.ErrFaulted
 )
 
+// ErrOverloaded marks a request shed by admission control: the serving
+// layer's bounded queue was full, so the request was rejected immediately
+// instead of queueing unboundedly. The condition is transient by
+// definition — callers should back off and retry (the HTTP surface maps
+// it to 429 with a Retry-After header).
+var ErrOverloaded = errors.New("orion: overloaded, retry later")
+
 // Sentinels for the checkpoint/resume and journaling layer.
 var (
 	// ErrSnapshot marks a snapshot that was rejected: damaged bytes, an

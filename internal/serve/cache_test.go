@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testDigest = "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"
+
+func openTestCache(t *testing.T) *Cache {
+	t.Helper()
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenCache: %v", err)
+	}
+	return c
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	c := openTestCache(t)
+	payload := []byte(`{"code":"saturated","error":"orion: saturated"}`)
+	if _, ok := c.Get(testDigest); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	if err := c.Put(testDigest, payload); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok := c.Get(testDigest)
+	if !ok {
+		t.Fatal("Get missed after Put")
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, want %q", got, payload)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Rejected != 0 {
+		t.Fatalf("stats = %+v, want 1 hit, 1 miss, 1 put", st)
+	}
+}
+
+func TestNilCacheIsDisabled(t *testing.T) {
+	var c *Cache
+	if _, ok := c.Get(testDigest); ok {
+		t.Fatal("nil cache reported a hit")
+	}
+	if err := c.Put(testDigest, []byte("x")); err != nil {
+		t.Fatalf("nil cache Put: %v", err)
+	}
+	if err := c.FlushIndex(); err != nil {
+		t.Fatalf("nil cache FlushIndex: %v", err)
+	}
+}
+
+func TestCacheRejectsBadDigests(t *testing.T) {
+	c := openTestCache(t)
+	for _, d := range []string{"", "../../etc/passwd", "ABCDEF", "abc/def", "xyz", strings.Repeat("a", 200)} {
+		if _, ok := c.Get(d); ok {
+			t.Fatalf("Get(%q) hit", d)
+		}
+		if err := c.Put(d, []byte("x")); err == nil {
+			t.Fatalf("Put(%q) accepted", d)
+		}
+	}
+}
+
+// TestCacheCorruptionRecovers damages a stored entry every way a crash
+// or disk fault can — truncation at every length, a flipped bit in
+// every byte, torn (entry replaced by a half-written temp image),
+// trailing garbage, version skew — and asserts the contract: the
+// damaged entry reads as a miss (never served), a recompute Put
+// overwrites it, and the entry is whole again.
+func TestCacheCorruptionRecovers(t *testing.T) {
+	payload := []byte(`{"result":{"avg_latency":42.5},"code":""}`)
+	damage := []struct {
+		name string
+		mut  func(entry []byte) []byte
+	}{
+		{"empty file", func(e []byte) []byte { return nil }},
+		{"single byte", func(e []byte) []byte { return e[:1] }},
+		{"header only", func(e []byte) []byte { return e[:cacheHeaderLen] }},
+		{"truncated mid-payload", func(e []byte) []byte { return e[:len(e)-len(e)/3] }},
+		{"truncated by one", func(e []byte) []byte { return e[:len(e)-1] }},
+		{"bad magic", func(e []byte) []byte {
+			out := append([]byte(nil), e...)
+			copy(out, "ORSN") // a snapshot's magic, not the cache's
+			return out
+		}},
+		{"future version", func(e []byte) []byte {
+			out := append([]byte(nil), e...)
+			out[4] = 99
+			return out
+		}},
+		{"impossible length", func(e []byte) []byte {
+			out := append([]byte(nil), e...)
+			out[8], out[9], out[10], out[11] = 0xff, 0xff, 0xff, 0xff
+			return out
+		}},
+		{"trailing garbage", func(e []byte) []byte {
+			return append(append([]byte(nil), e...), "tornwrite"...)
+		}},
+		{"torn: half an entry after the header", func(e []byte) []byte {
+			return e[:cacheHeaderLen+len(payload)/2]
+		}},
+	}
+	for _, tc := range damage {
+		t.Run(tc.name, func(t *testing.T) {
+			c := openTestCache(t)
+			if err := c.Put(testDigest, payload); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			path := c.entryPath(testDigest)
+			entry, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("reading entry: %v", err)
+			}
+			if err := os.WriteFile(path, tc.mut(entry), 0o644); err != nil {
+				t.Fatalf("damaging entry: %v", err)
+			}
+			if got, ok := c.Get(testDigest); ok {
+				t.Fatalf("damaged entry served: %q", got)
+			}
+			// The server's recovery path: recompute and overwrite.
+			if err := c.Put(testDigest, payload); err != nil {
+				t.Fatalf("recompute Put over damage: %v", err)
+			}
+			got, ok := c.Get(testDigest)
+			if !ok || !bytes.Equal(got, payload) {
+				t.Fatalf("after recompute: got %q ok=%v, want original payload", got, ok)
+			}
+		})
+	}
+}
+
+// TestCacheFlippedBitEveryByte flips one bit in every byte position of a
+// small entry and asserts no position ever yields a corrupted hit: the
+// damaged read is either a miss or (for the rare flip that survives
+// validation — there is none in this format, but the assertion is the
+// contract) byte-identical to the original.
+func TestCacheFlippedBitEveryByte(t *testing.T) {
+	payload := []byte(`{"code":"deadlock"}`)
+	c := openTestCache(t)
+	if err := c.Put(testDigest, payload); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	path := c.entryPath(testDigest)
+	entry, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading entry: %v", err)
+	}
+	for i := range entry {
+		mut := append([]byte(nil), entry...)
+		mut[i] ^= 0x10
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatalf("writing flip at %d: %v", i, err)
+		}
+		if got, ok := c.Get(testDigest); ok && !bytes.Equal(got, payload) {
+			t.Fatalf("flip at byte %d served corrupted payload %q", i, got)
+		}
+	}
+}
+
+func TestCacheTruncationEveryLength(t *testing.T) {
+	payload := []byte(`{"code":"invariant"}`)
+	c := openTestCache(t)
+	if err := c.Put(testDigest, payload); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	path := c.entryPath(testDigest)
+	entry, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading entry: %v", err)
+	}
+	for n := 0; n < len(entry); n++ {
+		if err := os.WriteFile(path, entry[:n], 0o644); err != nil {
+			t.Fatalf("truncating to %d: %v", n, err)
+		}
+		if _, ok := c.Get(testDigest); ok {
+			t.Fatalf("entry truncated to %d bytes served", n)
+		}
+	}
+}
+
+func TestOpenCacheSweepsTornTemps(t *testing.T) {
+	dir := t.TempDir()
+	torn := filepath.Join(dir, testDigest+".tmp-12345")
+	if err := os.WriteFile(torn, []byte("half a wri"), 0o644); err != nil {
+		t.Fatalf("planting torn temp: %v", err)
+	}
+	if _, err := OpenCache(dir); err != nil {
+		t.Fatalf("OpenCache: %v", err)
+	}
+	if _, err := os.Stat(torn); !os.IsNotExist(err) {
+		t.Fatalf("torn temp survived OpenCache: %v", err)
+	}
+}
+
+func TestFlushIndexListsEntries(t *testing.T) {
+	c := openTestCache(t)
+	if err := c.Put(testDigest, []byte(`{}`)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := c.FlushIndex(); err != nil {
+		t.Fatalf("FlushIndex: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(c.dir, "index.json"))
+	if err != nil {
+		t.Fatalf("reading index: %v", err)
+	}
+	if !strings.Contains(string(data), testDigest) {
+		t.Fatalf("index does not list the stored digest: %s", data)
+	}
+}

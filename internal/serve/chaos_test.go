@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"orion"
+)
+
+// The chaos drill: a server is SIGKILLed in the narrowest window of a
+// cache write — after the temp file is written and fsynced, before the
+// rename makes it an entry. The restarted server must treat the wreck
+// as if the write never happened: the torn temp is swept, the request
+// recomputes cleanly, and entries written before the kill still serve
+// as hits. The child is this same test binary re-executed with
+// ORION_SERVE_CHAOS_DIR set, parked in the write window via the
+// testHoldBeforeRename hook, and killed for real — no simulated crash.
+
+const chaosDirEnv = "ORION_SERVE_CHAOS_DIR"
+
+// TestServeChaosChild is the sacrificial process: it runs only under the
+// re-exec (skipped otherwise), serves one request, and parks inside the
+// cache-write window signalling readiness through a marker file.
+func TestServeChaosChild(t *testing.T) {
+	dir := os.Getenv(chaosDirEnv)
+	if dir == "" {
+		t.Skip("not in chaos-child mode")
+	}
+	testHoldBeforeRename = func(tmpPath string) {
+		// Tell the parent the temp file is durably on disk, then park
+		// until the SIGKILL lands.
+		if err := os.WriteFile(filepath.Join(dir, "held.marker"), []byte(tmpPath), 0o644); err != nil {
+			t.Fatalf("writing marker: %v", err)
+		}
+		select {}
+	}
+	s, err := New(Options{Workers: 1, QueueDepth: 1, CacheDir: dir})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.runSim = func(ctx context.Context, cfg orion.Config) (*orion.Result, error) {
+		return &orion.Result{AvgLatency: 33}, nil
+	}
+	s.Handle(context.Background(), &Request{Op: OpRun, Config: chaosConfig(t)})
+	t.Fatal("chaos child survived its own parked cache write")
+}
+
+func chaosConfig(t *testing.T) []byte {
+	t.Helper()
+	return testConfigJSON(t, 7777)
+}
+
+func TestServeChaosKillDuringCacheWrite(t *testing.T) {
+	if os.Getenv(chaosDirEnv) != "" {
+		t.Skip("already the chaos child")
+	}
+	dir := t.TempDir()
+
+	// Seed one clean entry before the crash: it must survive.
+	pre, err := New(Options{Workers: 1, QueueDepth: 1, CacheDir: dir})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	pre.runSim = func(ctx context.Context, cfg orion.Config) (*orion.Result, error) {
+		return &orion.Result{AvgLatency: 11}, nil
+	}
+	preCfg := testConfigJSON(t, 8888)
+	if resp := pre.Handle(context.Background(), &Request{Op: OpRun, Config: preCfg}); !resp.OK {
+		t.Fatalf("seeding request: %+v", resp)
+	}
+	if err := pre.Drain(); err != nil {
+		t.Fatalf("seeding drain: %v", err)
+	}
+
+	// Re-exec this binary as the chaos child and let it park mid-write.
+	child := exec.Command(os.Args[0], "-test.run=TestServeChaosChild$", "-test.v")
+	child.Env = append(os.Environ(), chaosDirEnv+"="+dir)
+	childOut := &strings.Builder{}
+	child.Stdout, child.Stderr = childOut, childOut
+	if err := child.Start(); err != nil {
+		t.Fatalf("starting chaos child: %v", err)
+	}
+	marker := filepath.Join(dir, "held.marker")
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := os.Stat(marker); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			_ = child.Process.Kill()
+			t.Fatalf("chaos child never reached the write window:\n%s", childOut)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := child.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("killing chaos child: %v", err)
+	}
+	_ = child.Wait()
+
+	// The wreck: the child's temp file exists, its entry does not.
+	tmpBytes, err := os.ReadFile(marker)
+	if err != nil {
+		t.Fatalf("reading marker: %v", err)
+	}
+	if _, err := os.Stat(string(tmpBytes)); err != nil {
+		t.Fatalf("expected a torn temp file at %s: %v", tmpBytes, err)
+	}
+
+	// Restart on the same directory: the torn temp is swept, the killed
+	// request recomputes cleanly, the pre-crash entry still hits.
+	s, err := New(Options{Workers: 2, QueueDepth: 2, CacheDir: dir})
+	if err != nil {
+		t.Fatalf("restart New: %v", err)
+	}
+	defer s.Drain()
+	runs := 0
+	s.runSim = func(ctx context.Context, cfg orion.Config) (*orion.Result, error) {
+		runs++
+		return &orion.Result{AvgLatency: 33}, nil
+	}
+	if _, err := os.Stat(string(tmpBytes)); !os.IsNotExist(err) {
+		t.Fatalf("restart did not sweep the torn temp: %v", err)
+	}
+
+	resp := s.Handle(context.Background(), &Request{Op: OpRun, Config: chaosConfig(t)})
+	if !resp.OK || resp.Cached {
+		t.Fatalf("post-crash request = %+v, want a clean recompute", resp)
+	}
+	if runs != 1 {
+		t.Fatalf("post-crash recompute ran %d times, want 1", runs)
+	}
+	again := s.Handle(context.Background(), &Request{Op: OpRun, Config: chaosConfig(t)})
+	if !again.OK || !again.Cached {
+		t.Fatalf("post-recompute request = %+v, want a cache hit", again)
+	}
+	preHit := s.Handle(context.Background(), &Request{Op: OpRun, Config: preCfg})
+	if !preHit.OK || !preHit.Cached || preHit.Result.AvgLatency != 11 {
+		t.Fatalf("pre-crash entry = %+v, want the seeded cached result", preHit)
+	}
+}

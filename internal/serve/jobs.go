@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Async job statuses.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+)
+
+// jobTable tracks asynchronously submitted requests. Completed jobs are
+// retained (so a client can poll after the fact) up to limit entries,
+// then evicted oldest-first — only completed jobs are ever evicted, so a
+// running job's result is never dropped.
+type jobTable struct {
+	limit int
+
+	mu    sync.Mutex
+	m     map[string]*jobEntry
+	order []string
+	seq   uint64
+}
+
+type jobEntry struct {
+	status string
+	resp   *Response
+}
+
+// add registers a new queued job and returns its id.
+func (t *jobTable) add() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.m == nil {
+		t.m = make(map[string]*jobEntry)
+	}
+	t.seq++
+	id := fmt.Sprintf("job-%d", t.seq)
+	t.m[id] = &jobEntry{status: JobQueued}
+	t.order = append(t.order, id)
+	t.evictLocked()
+	return id
+}
+
+func (t *jobTable) setStatus(id, status string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.m[id]; ok && e.status != JobDone {
+		e.status = status
+	}
+}
+
+// complete stores the job's final response.
+func (t *jobTable) complete(id string, resp *Response) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.m[id]; ok {
+		e.status = JobDone
+		e.resp = resp
+	}
+}
+
+// get returns a copy of the job's current response: while running, a
+// status-only shell; once done, the full result.
+func (t *jobTable) get(id string) (*Response, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.m[id]
+	if !ok {
+		return nil, false
+	}
+	if e.status != JobDone || e.resp == nil {
+		return &Response{OK: true, JobID: id, Status: e.status}, true
+	}
+	resp := *e.resp
+	resp.JobID = id
+	resp.Status = JobDone
+	return &resp, true
+}
+
+// evictLocked drops the oldest completed jobs beyond the table limit.
+func (t *jobTable) evictLocked() {
+	if t.limit <= 0 || len(t.order) <= t.limit {
+		return
+	}
+	kept := t.order[:0]
+	excess := len(t.order) - t.limit
+	for _, id := range t.order {
+		if excess > 0 {
+			if e, ok := t.m[id]; ok && e.status == JobDone {
+				delete(t.m, id)
+				excess--
+				continue
+			}
+		}
+		kept = append(kept, id)
+	}
+	t.order = kept
+}

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"sync"
+
+	"orion"
+)
+
+// The admission-controlled worker pool. Simulations are CPU-bound, so
+// the pool runs a fixed number of workers and keeps a bounded waiting
+// room in front of them; a request that finds the waiting room full is
+// shed immediately with orion.ErrOverloaded instead of queueing
+// unboundedly. Load shedding at the door is what keeps latency bounded
+// when offered load exceeds capacity — the service-level analogue of the
+// simulator's own ErrSaturated.
+
+// pool runs submitted funcs on a fixed set of workers.
+type pool struct {
+	queue chan func()
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	shed   uint64
+	// slots is the remaining admission capacity: workers + queueDepth
+	// minus the submissions admitted but not yet finished. Counting it
+	// explicitly (instead of relying on channel readiness) makes
+	// admission deterministic — a submission never races a worker
+	// between jobs, or worker startup, into a spurious shed.
+	slots int
+}
+
+// newPool starts workers goroutines behind a waiting room of depth
+// queueDepth (0 means no waiting room: a submission is admitted only
+// while a worker slot is free).
+func newPool(workers, queueDepth int) *pool {
+	cap := workers + queueDepth
+	p := &pool{queue: make(chan func(), cap), slots: cap}
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.queue {
+				fn()
+				p.mu.Lock()
+				p.slots++
+				p.mu.Unlock()
+			}
+		}()
+	}
+	return p
+}
+
+// submit admits fn or sheds it: if every slot is taken (or the pool is
+// closed) it returns orion.ErrOverloaded immediately — submit never
+// blocks. An admitted fn is guaranteed to run, even after close.
+func (p *pool) submit(fn func()) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return orion.ErrOverloaded
+	}
+	if p.slots == 0 {
+		p.shed++
+		p.mu.Unlock()
+		return orion.ErrOverloaded
+	}
+	p.slots--
+	p.mu.Unlock()
+	// The buffer is sized to the full admission capacity and a slot was
+	// just reserved, so this send cannot block.
+	p.queue <- fn
+	return nil
+}
+
+// shedCount reports how many submissions were rejected by admission
+// control.
+func (p *pool) shedCount() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.shed
+}
+
+// close stops admission and waits for every admitted fn to finish.
+func (p *pool) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	close(p.queue)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRequestValidation(t *testing.T) {
+	cfg := `{"width":2,"height":2}`
+	cases := []struct {
+		name    string
+		line    string
+		wantErr string // substring; "" means valid
+	}{
+		{"run ok", `{"op":"run","config":` + cfg + `}`, ""},
+		{"sweep ok", `{"op":"sweep","config":` + cfg + `,"rates":[0.02,0.1]}`, ""},
+		{"job ok", `{"op":"job","job":"job-1"}`, ""},
+		{"not json", `{"op":`, "parsing request"},
+		{"missing op", `{"config":` + cfg + `}`, "op: required"},
+		{"unknown op", `{"op":"explode"}`, "unknown operation"},
+		{"run without config", `{"op":"run"}`, "config: required"},
+		{"sweep without config", `{"op":"sweep","rates":[0.1]}`, "config: required"},
+		{"job without id", `{"op":"job"}`, "job: required"},
+		{"run with rates", `{"op":"run","config":` + cfg + `,"rates":[0.1]}`, "rates: only valid"},
+		{"sweep without rates", `{"op":"sweep","config":` + cfg + `}`, "at least one injection rate"},
+		{"rate above one", `{"op":"sweep","config":` + cfg + `,"rates":[1.5]}`, "rates[0]"},
+		{"rate negative", `{"op":"sweep","config":` + cfg + `,"rates":[-0.1]}`, "rates[0]"},
+		{"negative deadline", `{"op":"run","config":` + cfg + `,"deadline_ms":-5}`, "deadline_ms"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := ParseRequest([]byte(tc.line))
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("ParseRequest(%s) = %v, want ok", tc.line, err)
+				}
+				if req == nil {
+					t.Fatal("valid parse returned nil request")
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("ParseRequest(%s) accepted, want error containing %q", tc.line, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("ParseRequest(%s) error %q, want substring %q", tc.line, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseRequestRejectsOversized(t *testing.T) {
+	line := `{"op":"run","config":{"pad":"` + strings.Repeat("x", MaxRequestBytes) + `"}}`
+	if _, err := ParseRequest([]byte(line)); err == nil {
+		t.Fatal("oversized request accepted")
+	}
+}
+
+func TestParseRequestTooManyRates(t *testing.T) {
+	var b strings.Builder
+	b.WriteString(`{"op":"sweep","config":{},"rates":[`)
+	for i := 0; i <= MaxSweepRates; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString("0.1")
+	}
+	b.WriteString(`]}`)
+	if _, err := ParseRequest([]byte(b.String())); err == nil {
+		t.Fatal("sweep beyond MaxSweepRates accepted")
+	}
+}
+
+// FuzzServeRequest holds the protocol trust boundary to its contract:
+// arbitrary bytes either parse into a request that passes Validate, or
+// return an error — never a panic. Run with:
+//
+//	go test ./internal/serve -run=Fuzz -fuzz=FuzzServeRequest -fuzztime=30s
+func FuzzServeRequest(f *testing.F) {
+	f.Add([]byte(`{"op":"run","config":{"width":2,"height":2}}`))
+	f.Add([]byte(`{"op":"sweep","config":{},"rates":[0.02,0.1],"deadline_ms":50}`))
+	f.Add([]byte(`{"op":"job","job":"job-7"}`))
+	f.Add([]byte(`{"op":"sweep","config":{},"rates":[1e309]}`))
+	f.Add([]byte(`{"op":"run","config":{},"rates":null,"async":true}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"op":"run","config":{},"deadline_ms":-1}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ParseRequest(data)
+		if err != nil {
+			if req != nil {
+				t.Fatal("ParseRequest returned both a request and an error")
+			}
+			return
+		}
+		if req == nil {
+			t.Fatal("ParseRequest returned neither a request nor an error")
+		}
+		// A request that parsed clean must re-validate clean: Validate
+		// is what Handle trusts.
+		if verr := req.Validate(); verr != nil {
+			t.Fatalf("parsed request fails re-validation: %v", verr)
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// Singleflight dedup of identical in-flight requests: N concurrent
+// requests that resolve to the same digest run the simulation once. The
+// leader's execution is detached from any single caller's context —
+// followers keep the run alive even if the leader's client hangs up —
+// while each waiter still honours its own deadline.
+
+// flightGroup collapses concurrent calls by key.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+// flightCall is one in-flight execution.
+type flightCall struct {
+	done chan struct{}
+	out  *outcome
+	dups int
+}
+
+// do returns the outcome for key, starting fn (in its own goroutine)
+// only if no execution for key is already in flight. shared reports
+// whether this caller joined an existing execution. If ctx expires
+// before the execution settles, do returns (nil, shared, ctx.Err()) and
+// the execution keeps running for the other waiters.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() *outcome) (out *outcome, shared bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		c.dups++
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.out, true, nil
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	go func() {
+		c.out = fn()
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+
+	select {
+	case <-c.done:
+		return c.out, false, nil
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+}

@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke of the orion-serve daemon.
+#
+# Builds orion-serve, starts it on a free port with a fresh cache
+# directory, and drives the service guarantees from outside the process:
+#
+#   1. the same config served twice — the second response must say
+#      "cached":true and carry the identical result,
+#   2. a saturating config under a short deadline — the response must
+#      carry the typed "timeout" code, not hang and not crash,
+#   3. SIGTERM with a request in flight — the daemon must drain
+#      gracefully and exit 0.
+#
+# Usage: scripts/serve_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$WORK/orion-serve" ./cmd/orion-serve
+go build -o "$WORK/orion" ./cmd/orion
+
+# A small config for the cached-run checks and a hopeless one (rate far
+# past saturation, many samples) for the deadline check.
+"$WORK/orion" -router vc -vcs 2 -depth 8 -flits 256 -rate 0.02 -samples 400 \
+    -dump-config > "$WORK/small.json"
+"$WORK/orion" -router vc -vcs 2 -depth 8 -flits 256 -rate 0.95 -samples 2000000 \
+    -dump-config > "$WORK/hopeless.json"
+
+start_serve() {
+    "$WORK/orion-serve" -http 127.0.0.1:0 -cache "$WORK/cache" -drain 10s \
+        2> "$WORK/serve.log" &
+    SERVE_PID=$!
+    ADDR=""
+    for _ in $(seq 1 200); do
+        ADDR="$(sed -n 's/^orion-serve: http listening on //p' "$WORK/serve.log" | head -1)"
+        [ -n "$ADDR" ] && break
+        if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+            echo "FAIL: orion-serve died at startup" >&2
+            cat "$WORK/serve.log" >&2
+            exit 1
+        fi
+        sleep 0.05
+    done
+    if [ -z "$ADDR" ]; then
+        echo "FAIL: orion-serve never logged its listen address" >&2
+        exit 1
+    fi
+}
+
+start_serve
+echo "== daemon on $ADDR"
+curl -fsS "http://$ADDR/healthz" > /dev/null
+curl -fsS "http://$ADDR/readyz" > /dev/null
+
+echo "== run twice: second must be a cache hit"
+printf '{"config":%s}' "$(cat "$WORK/small.json")" > "$WORK/run.req"
+curl -fsS -d @"$WORK/run.req" "http://$ADDR/v1/run" > "$WORK/run1.json"
+curl -fsS -d @"$WORK/run.req" "http://$ADDR/v1/run" > "$WORK/run2.json"
+grep -q '"ok":true' "$WORK/run1.json" || { echo "FAIL: first run not ok: $(cat "$WORK/run1.json")" >&2; exit 1; }
+if grep -q '"cached":true' "$WORK/run1.json"; then
+    echo "FAIL: first run claims a cache hit on a fresh cache" >&2; exit 1
+fi
+grep -q '"cached":true' "$WORK/run2.json" || { echo "FAIL: second identical run was not served from cache: $(cat "$WORK/run2.json")" >&2; exit 1; }
+
+echo "== saturating config with a short deadline: typed timeout code"
+printf '{"config":%s,"deadline_ms":300}' "$(cat "$WORK/hopeless.json")" > "$WORK/slow.req"
+curl -fsS -d @"$WORK/slow.req" "http://$ADDR/v1/run" > "$WORK/slow.json"
+if ! grep -Eq '"code":"(timeout|saturated)"' "$WORK/slow.json"; then
+    echo "FAIL: deadline response carries no typed code: $(cat "$WORK/slow.json")" >&2
+    exit 1
+fi
+grep -q '"ok":false' "$WORK/slow.json" || { echo "FAIL: deadline response claims ok" >&2; exit 1; }
+
+echo "== SIGTERM with a request in flight: graceful drain, exit 0"
+curl -s -m 30 -d @"$WORK/slow.req" "http://$ADDR/v1/run" > "$WORK/inflight.json" &
+CURL_PID=$!
+sleep 0.3
+kill -TERM "$SERVE_PID"
+STATUS=0
+wait "$SERVE_PID" || STATUS=$?
+SERVE_PID=""
+wait "$CURL_PID" 2>/dev/null || true
+if [ "$STATUS" -ne 0 ]; then
+    echo "FAIL: orion-serve exited $STATUS after SIGTERM" >&2
+    cat "$WORK/serve.log" >&2
+    exit 1
+fi
+grep -q 'drained:' "$WORK/serve.log" || { echo "FAIL: no drain summary logged" >&2; cat "$WORK/serve.log" >&2; exit 1; }
+
+echo "== restart on the same cache: the hit survives the process"
+start_serve
+curl -fsS -d @"$WORK/run.req" "http://$ADDR/v1/run" > "$WORK/run3.json"
+grep -q '"cached":true' "$WORK/run3.json" || { echo "FAIL: cache entry did not survive the restart: $(cat "$WORK/run3.json")" >&2; exit 1; }
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || { echo "FAIL: second daemon did not drain cleanly" >&2; exit 1; }
+SERVE_PID=""
+
+echo "PASS: serve smoke — cache hit, typed deadline code, graceful drain, durable cache"
