@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race race-workers fuzz-smoke bench-smoke bench bench-compare distributed-sweep serve-smoke ci
+.PHONY: build vet test race race-workers fuzz-smoke bench-smoke bench bench-compare distributed-sweep remote-sweep serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -32,11 +32,18 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzJournalLine -fuzztime 10s .
 	$(GO) test -run '^$$' -fuzz FuzzQueueLine -fuzztime 10s ./internal/queue
 	$(GO) test -run '^$$' -fuzz FuzzServeRequest -fuzztime 10s ./internal/serve
+	$(GO) test -run '^$$' -fuzz FuzzParseBackends -fuzztime 10s ./internal/remote
 
 # End-to-end distributed-sweep chaos gate: 4 worker processes, two
 # SIGKILLed mid-run, merged CSV byte-identical to a clean sweep.
 distributed-sweep:
 	scripts/distributed_sweep.sh
+
+# End-to-end remote-backend chaos gate: two real orion-serve backends,
+# one SIGKILLed mid-sweep; the dispatched CSV must stay byte-identical
+# to a clean local run.
+remote-sweep:
+	scripts/remote_sweep.sh
 
 # End-to-end daemon smoke: repeated request served from the result
 # cache, typed timeout code under a short deadline, graceful SIGTERM

@@ -1,0 +1,78 @@
+package orion
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestPointBackoffDelaySchedule pins the retry schedule: the delay grows
+// linearly with the attempt number on a per-rate jitter base bounded to
+// [50ms, 149ms], so attempt k always waits exactly k× attempt 1.
+func TestPointBackoffDelaySchedule(t *testing.T) {
+	for _, rate := range []float64{0, 0.01, 0.02, 0.5, 0.999} {
+		base := pointBackoffDelay(1, rate)
+		if base < 50*time.Millisecond || base > 149*time.Millisecond {
+			t.Errorf("rate %g: base delay %v outside [50ms, 149ms]", rate, base)
+		}
+		for attempt := 2; attempt <= 5; attempt++ {
+			got := pointBackoffDelay(attempt, rate)
+			if want := time.Duration(attempt) * base; got != want {
+				t.Errorf("rate %g attempt %d: delay %v, want %d x base = %v",
+					rate, attempt, got, attempt, want)
+			}
+		}
+	}
+}
+
+// TestPointBackoffDelayDeterministicJitter: the jitter derives from the
+// rate's bit pattern alone, so a fixed (attempt, rate) pair always backs
+// off identically — resumed and repeated sweeps stay reproducible —
+// while distinct rates decorrelate across a failing pool.
+func TestPointBackoffDelayDeterministicJitter(t *testing.T) {
+	for _, rate := range []float64{0.02, 0.05, 0.11} {
+		first := pointBackoffDelay(3, rate)
+		for i := 0; i < 10; i++ {
+			if got := pointBackoffDelay(3, rate); got != first {
+				t.Fatalf("rate %g: delay changed across calls: %v then %v", rate, first, got)
+			}
+		}
+	}
+	distinct := map[time.Duration]bool{}
+	for _, rate := range []float64{0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08} {
+		distinct[pointBackoffDelay(1, rate)] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("jitter produced one delay across 8 rates; retries would synchronize")
+	}
+}
+
+// TestPointBackoffCancelledContext: a cancelled sweep must not sit out
+// its backoff — the wait aborts immediately and reports false so the
+// caller stops retrying.
+func TestPointBackoffCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	// Attempt 20 would wait at least a second if the cancellation were
+	// ignored.
+	if pointBackoff(ctx, 20, 0.05) {
+		t.Fatal("pointBackoff returned true under a cancelled context")
+	}
+	if waited := time.Since(start); waited > 200*time.Millisecond {
+		t.Fatalf("cancelled backoff waited %v, want an immediate return", waited)
+	}
+}
+
+// TestPointBackoffCancelledMidWait cancels while the backoff timer is
+// pending and requires the same early false.
+func TestPointBackoffCancelledMidWait(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if pointBackoff(ctx, 20, 0.05) {
+		t.Fatal("pointBackoff returned true after mid-wait cancellation")
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"orion/internal/remote"
 	"orion/internal/serve"
 )
 
@@ -56,6 +57,13 @@ var (
 		"hard cap on any request's deadline (0 = no cap)")
 	drainTmo = flag.Duration("drain", 10*time.Second,
 		"graceful-drain deadline: in-flight work past it is cancelled")
+
+	backendsIn = flag.String("backends", "",
+		"comma-separated orion-serve base URLs; served sweep points are dispatched to these backends over HTTP (this instance becomes a coordinator)")
+	noLocalFallback = flag.Bool("no-local-fallback", false,
+		"with -backends: fail sweep points when every backend is unreachable, instead of running them locally")
+	backendRetries = flag.Int("backend-retries", 3,
+		"with -backends: HTTP dispatch attempts per sweep point before degrading to local execution")
 )
 
 func fail(format string, args ...any) {
@@ -89,6 +97,27 @@ func main() {
 	if *drainTmo <= 0 {
 		failFlag("-drain: must be positive, got %v", *drainTmo)
 	}
+	var backendURLs []string
+	if *backendsIn != "" {
+		var perr error
+		backendURLs, perr = remote.ParseBackends(*backendsIn)
+		if perr != nil {
+			failFlag("-%v", perr)
+		}
+	}
+	if *backendRetries <= 0 {
+		failFlag("-backend-retries: must be positive, got %d", *backendRetries)
+	}
+	if *backendsIn == "" {
+		explicitlySet := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicitlySet[f.Name] = true })
+		if explicitlySet["no-local-fallback"] {
+			failFlag("-no-local-fallback: requires -backends")
+		}
+		if explicitlySet["backend-retries"] {
+			failFlag("-backend-retries: requires -backends")
+		}
+	}
 	if flag.NArg() > 0 {
 		failFlag("unexpected arguments: %v", flag.Args())
 	}
@@ -107,14 +136,34 @@ func main() {
 		dir = *cacheDir
 	}
 
-	srv, err := serve.New(serve.Options{
+	opts := serve.Options{
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		CacheDir:        dir,
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDeadline,
 		DrainTimeout:    *drainTmo,
-	})
+	}
+	var pool *remote.Pool
+	if len(backendURLs) > 0 {
+		// This instance becomes a sweep coordinator: served sweep points
+		// dispatch to the backend fleet, bounded per try by our own
+		// default request deadline so a hung backend cannot outlive the
+		// request it serves.
+		var perr error
+		pool, perr = remote.NewPool(remote.Options{
+			Backends:        backendURLs,
+			PerTryTimeout:   *deadline,
+			Retries:         *backendRetries,
+			NoLocalFallback: *noLocalFallback,
+		})
+		if perr != nil {
+			fail("%v", perr)
+		}
+		opts.RunPoint = pool.RunPoint
+		fmt.Fprintf(os.Stderr, "orion-serve: dispatching sweep points to %d backends\n", len(backendURLs))
+	}
+	srv, err := serve.New(opts)
 	if err != nil {
 		fail("%v", err)
 	}
@@ -184,4 +233,10 @@ func main() {
 	fmt.Fprintf(os.Stderr,
 		"orion-serve: drained: %d requests (%d shed), cache %d hits / %d misses / %d rejected / %d puts\n",
 		st.Requests, st.Shed, st.Cache.Hits, st.Cache.Misses, st.Cache.Rejected, st.Cache.Puts)
+	if pool != nil {
+		pst := pool.Stats()
+		fmt.Fprintf(os.Stderr,
+			"orion-serve: backends: %d remote, %d local-fallback, %d attempts (%d busy, %d failed), %d breaker trips\n",
+			pst.Remote, pst.Local, pst.Attempts, pst.Busy, pst.Failures, pst.Trips)
+	}
 }

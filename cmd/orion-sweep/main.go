@@ -26,6 +26,10 @@
 //	# Inspect a crashed or in-flight sweep:
 //	orion-sweep -status -journal sweep.wal
 //
+//	# Remote backends: dispatch the points to orion-serve instances over
+//	# HTTP (circuit breakers, retries, local fallback when all are down):
+//	orion-sweep -preset vc64 -backends http://hostb:9090,http://hostc:9090 -csv curve.csv
+//
 // SIGINT/SIGTERM cancel the in-flight points, flush the journal and
 // partial results (table and CSV), and exit with status 128+signal.
 // A journaled sweep restarted with -resume skips every point the journal
@@ -53,6 +57,7 @@ import (
 
 	"orion"
 	"orion/internal/prof"
+	"orion/internal/remote"
 )
 
 var (
@@ -96,6 +101,13 @@ var (
 		"print per-point state of the -journal sweep (done/failed/claimed/pending) and exit")
 	leaseDur = flag.Duration("lease", 5*time.Second,
 		"work-queue claim lease: a worker silent this long is presumed dead and its points are stolen")
+
+	backendsIn = flag.String("backends", "",
+		"comma-separated orion-serve base URLs (http://host:port); sweep points are dispatched to these backends over HTTP, with circuit breakers and local fallback")
+	noLocalFallback = flag.Bool("no-local-fallback", false,
+		"with -backends: fail a point (typed backend-down error) when every backend is unreachable, instead of running it locally")
+	backendRetries = flag.Int("backend-retries", 3,
+		"with -backends: HTTP dispatch attempts per point before degrading to local execution")
 )
 
 func fail(format string, args ...any) {
@@ -150,6 +162,31 @@ func run() (status int) {
 	}
 	if *pointTmo < 0 {
 		fail("-point-timeout: must not be negative, got %v", *pointTmo)
+	}
+	// The remote-dispatch flags are validated before any network or
+	// journal activity: a typo in a backend URL fails with the list
+	// position named, and the tuning flags are rejected when they cannot
+	// mean anything (no -backends to tune).
+	var backendURLs []string
+	if *backendsIn != "" {
+		var perr error
+		backendURLs, perr = remote.ParseBackends(*backendsIn)
+		if perr != nil {
+			fail("-%v", perr)
+		}
+	}
+	if *backendRetries <= 0 {
+		fail("-backend-retries: must be positive, got %d", *backendRetries)
+	}
+	if *backendsIn == "" {
+		explicitlySet := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicitlySet[f.Name] = true })
+		if explicitlySet["no-local-fallback"] {
+			fail("-no-local-fallback: requires -backends")
+		}
+		if explicitlySet["backend-retries"] {
+			fail("-backend-retries: requires -backends")
+		}
 	}
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -255,6 +292,35 @@ func run() (status int) {
 		return printStatus(*journalPath)
 	}
 
+	// The backend pool, when -backends is set: points dispatch over HTTP
+	// with per-try deadlines derived from the lease, circuit breakers,
+	// and (unless opted out) local fallback. Workers and coordinators
+	// share the same pool wiring.
+	var pool *remote.Pool
+	var runner orion.PointRunner
+	if len(backendURLs) > 0 {
+		var perr error
+		pool, perr = remote.NewPool(remote.Options{
+			Backends:        backendURLs,
+			Lease:           *leaseDur,
+			Retries:         *backendRetries,
+			NoLocalFallback: *noLocalFallback,
+		})
+		if perr != nil {
+			fail("%v", perr)
+		}
+		runner = pool.RunPoint
+	}
+	printPoolStats := func() {
+		if pool == nil {
+			return
+		}
+		st := pool.Stats()
+		fmt.Fprintf(os.Stderr,
+			"orion-sweep: backends: %d remote, %d local-fallback, %d attempts (%d busy, %d failed), %d breaker trips\n",
+			st.Remote, st.Local, st.Attempts, st.Busy, st.Failures, st.Trips)
+	}
+
 	zl, err := orion.ZeroLoadLatency(cfg)
 	if err != nil {
 		fail("zero-load: %v", err)
@@ -289,9 +355,10 @@ func run() (status int) {
 		// or it is told to stop.
 		cfg.Sim.PointRetries = *retries
 		stats, werr := orion.SweepWorker(ctx, cfg, rates,
-			orion.SweepWorkerOptions{Path: *journalPath, Lease: *leaseDur})
-		fmt.Fprintf(os.Stderr, "orion-sweep: worker %d: %d claims (%d steals), %d commits, %d leases lost\n",
-			os.Getpid(), stats.Claims, stats.Steals, stats.Commits, stats.LeasesLost)
+			orion.SweepWorkerOptions{Path: *journalPath, Lease: *leaseDur, Run: runner})
+		fmt.Fprintf(os.Stderr, "orion-sweep: worker %d: %d claims (%d steals), %d commits, %d leases lost, %d backend-down\n",
+			os.Getpid(), stats.Claims, stats.Steals, stats.Commits, stats.LeasesLost, stats.BackendDown)
+		printPoolStats()
 		if werr != nil && !errors.Is(werr, context.Canceled) {
 			fail("worker: %v", werr)
 		}
@@ -315,6 +382,36 @@ func run() (status int) {
 		if results == nil && sweepErr != nil {
 			fail("%v", sweepErr)
 		}
+	case pool != nil:
+		// Remote dispatch always runs through the work-queue protocol so
+		// the exactly-one-commit invariant holds end to end; without an
+		// explicit -journal the queue lives in a throwaway file.
+		cfg.Sim.PointRetries = *retries
+		qpath := *journalPath
+		if qpath == "" {
+			qf, qerr := os.CreateTemp("", "orion-sweep-remote-*.wal")
+			if qerr != nil {
+				fail("creating remote dispatch queue: %v", qerr)
+			}
+			qpath = qf.Name()
+			qf.Close()
+			defer os.Remove(qpath)
+		}
+		// Dispatch concurrency: a couple of in-flight points per backend
+		// keeps the fleet busy without flooding any single admission
+		// queue.
+		dw := 2 * len(backendURLs)
+		if dw > len(rates) {
+			dw = len(rates)
+		}
+		results, sweepErr = orion.SweepDistributed(ctx, cfg, rates, orion.DistributedSweepOptions{
+			Path:    qpath,
+			Workers: dw,
+			Lease:   *leaseDur,
+			Resume:  *resumeJrnl && *journalPath != "",
+			Run:     runner,
+		})
+		printPoolStats()
 	case *journalPath != "":
 		cfg.Sim.PointRetries = *retries
 		if *resumeJrnl {

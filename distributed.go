@@ -119,6 +119,11 @@ type SweepWorkerOptions struct {
 	// Poll is the idle re-scan interval while other workers hold the
 	// remaining points. Default Lease/5.
 	Poll time.Duration
+	// Run executes one claimed point. Nil means local execution
+	// (RunPoint); a remote dispatch pool (internal/remote) plugs in here
+	// so claimed points execute on orion-serve backends while the
+	// lease/heartbeat/commit machinery stays unchanged.
+	Run PointRunner
 
 	// Test hooks. dieAfterClaims, when positive, makes the worker abandon
 	// the run after claiming its N-th point — no drop, no commit — the
@@ -138,6 +143,10 @@ type WorkerStats struct {
 	// results discarded because the claim was stolen while the point ran
 	// (the point is re-run by the thief — no double-commit).
 	Commits, LeasesLost int
+	// BackendDown counts point runs that failed because every remote
+	// backend was circuit-broken with local fallback disabled
+	// (errors wrapping ErrBackendDown). Always zero for local runners.
+	BackendDown int
 }
 
 // errWorkerCrashed marks a worker abandoned by the dieAfterClaims chaos
@@ -174,6 +183,10 @@ func SweepWorker(ctx context.Context, cfg Config, rates []float64, opts SweepWor
 	id := opts.WorkerID
 	if id == "" {
 		id = queue.NewWorkerID()
+	}
+	run := opts.Run
+	if run == nil {
+		run = RunPoint
 	}
 	lease := opts.Lease
 	if lease <= 0 {
@@ -253,9 +266,12 @@ func SweepWorker(ctx context.Context, cfg Config, rates []float64, opts SweepWor
 				}
 			}
 		}()
-		res, rerr := runPoint(ctx, cfg, rates[idx])
+		res, rerr := run(ctx, cfg, rates[idx])
 		close(hbStop)
 		hbWG.Wait()
+		if rerr != nil && errors.Is(rerr, ErrBackendDown) {
+			stats.BackendDown++
+		}
 
 		if rerr != nil && ctx.Err() != nil {
 			// The sweep is being cancelled, not the point organically
@@ -435,6 +451,9 @@ type DistributedSweepOptions struct {
 	// settled points are kept (transient failures re-opened), points
 	// claimed by dead workers are stolen once their leases expire.
 	Resume bool
+	// Run executes each claimed point; nil means local execution. See
+	// SweepWorkerOptions.Run.
+	Run PointRunner
 }
 
 // SweepDistributed runs a sweep through the work-queue protocol with
@@ -470,6 +489,7 @@ func SweepDistributed(ctx context.Context, cfg Config, rates []float64, opts Dis
 				Lease:    opts.Lease,
 				Poll:     opts.Poll,
 				WorkerID: fmt.Sprintf("%s/w%d", queue.NewWorkerID(), w),
+				Run:      opts.Run,
 			})
 		}(w)
 	}

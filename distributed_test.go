@@ -3,10 +3,12 @@ package orion
 import (
 	"context"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -406,5 +408,88 @@ func TestSweepWorkerCancelDropsClaim(t *testing.T) {
 	}
 	if st[0].State != "pending" {
 		t.Fatalf("point after cancel = %+v, want pending (claim dropped)", st[0])
+	}
+}
+
+// TestSweepDistributedCustomRunner: DistributedSweepOptions.Run replaces
+// the in-process point executor for every worker — the seam the remote
+// dispatch layer plugs into — without changing what gets committed.
+func TestSweepDistributedCustomRunner(t *testing.T) {
+	cfg := fastConfig(0)
+	rates := []float64{0.02, 0.05, 0.08}
+	clean, err := Sweep(cfg, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	path := filepath.Join(t.TempDir(), "sweep.wal")
+	dist, err := SweepDistributed(context.Background(), cfg, rates, DistributedSweepOptions{
+		Path: path, Workers: 2, Lease: 2 * time.Second,
+		Run: func(ctx context.Context, cfg Config, rate float64) (*Result, error) {
+			calls.Add(1)
+			return RunPoint(ctx, cfg, rate)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != int64(len(rates)) {
+		t.Fatalf("custom runner ran %d points, want %d", got, len(rates))
+	}
+	for i := range rates {
+		if dist[i] == nil || fingerprint(clean[i]) != fingerprint(dist[i]) {
+			t.Errorf("rate %g: custom-runner result differs from sequential sweep", rates[i])
+		}
+	}
+}
+
+// TestSweepWorkerCountsBackendDown: a runner failing with ErrBackendDown
+// (every remote backend circuit-broken, local fallback disabled) is
+// counted in WorkerStats.BackendDown, and the points settle as
+// non-deterministic failures — visible in the status report and re-run
+// on resume rather than burned.
+func TestSweepWorkerCountsBackendDown(t *testing.T) {
+	cfg := fastConfig(0)
+	rates := []float64{0.02, 0.05}
+	path := filepath.Join(t.TempDir(), "sweep.wal")
+	if err := CreateSweepQueue(path, cfg, rates, false); err != nil {
+		t.Fatal(err)
+	}
+	down := fmt.Errorf("dispatching rate: %w", ErrBackendDown)
+	stats, err := SweepWorker(context.Background(), cfg, rates, SweepWorkerOptions{
+		Path: path, WorkerID: "w1", Lease: time.Second,
+		Run: func(context.Context, Config, float64) (*Result, error) { return nil, down },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BackendDown != len(rates) || stats.Commits != len(rates) {
+		t.Fatalf("stats = %+v, want %d backend-down failures all committed", stats, len(rates))
+	}
+	st, err := JournalStatus(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range st {
+		if p.State != "failed" || !strings.Contains(p.Err, "backend") {
+			t.Fatalf("point %d after backend-down sweep = %+v, want failed with backend error", i, p)
+		}
+	}
+	// backend_down is transient: a resume with a healthy runner re-runs
+	// exactly these points and settles them with real results.
+	clean, err := Sweep(cfg, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := SweepDistributed(context.Background(), cfg, rates, DistributedSweepOptions{
+		Path: path, Workers: 2, Lease: time.Second, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rates {
+		if results[i] == nil || fingerprint(clean[i]) != fingerprint(results[i]) {
+			t.Errorf("rate %g: post-recovery result differs from sequential sweep", rates[i])
+		}
 	}
 }

@@ -49,6 +49,24 @@ var (
 // it to 429 with a Retry-After header).
 var ErrOverloaded = errors.New("orion: overloaded, retry later")
 
+// Sentinels for the remote-dispatch layer (internal/remote). A sweep
+// running with HTTP backends classifies its failures with these so
+// callers can tell a network-layer problem from a simulation outcome.
+var (
+	// ErrRemote marks a failure of the remote dispatch itself: a
+	// transport error, a truncated or undecodable response, or a retry
+	// budget exhausted against misbehaving backends. The simulation's own
+	// outcome is unknown — a re-run (or the local fallback) may succeed.
+	ErrRemote = errors.New("orion: remote dispatch failed")
+	// ErrBackendDown marks a point that found every configured backend
+	// unavailable: each circuit breaker open after consecutive failures,
+	// with no probe due. With local fallback enabled the point runs
+	// locally instead; with fallback disabled the point fails with an
+	// error wrapping both ErrRemote and ErrBackendDown, and the worker's
+	// stats count it.
+	ErrBackendDown = errors.New("orion: every remote backend is down")
+)
+
 // Sentinels for the checkpoint/resume and journaling layer.
 var (
 	// ErrSnapshot marks a snapshot that was rejected: damaged bytes, an

@@ -195,6 +195,23 @@ func (s *State) DoneCount() int {
 	return n
 }
 
+// Counts tallies points by status — the one-line summary chaos tests
+// and operator tooling assert on (a settled queue is 0 pending,
+// 0 claimed, len(Points) done).
+func (s *State) Counts() (pending, claimed, done int) {
+	for i := range s.Points {
+		switch s.Points[i].Status {
+		case Pending:
+			pending++
+		case Claimed:
+			claimed++
+		case Done:
+			done++
+		}
+	}
+	return pending, claimed, done
+}
+
 // Holder returns the index's current holder, or "" when unheld.
 func (s *State) HolderOf(idx int) string {
 	if idx < 0 || idx >= len(s.Points) {

@@ -1,0 +1,99 @@
+package remote
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a per-backend circuit breaker. Closed admits every try;
+// TripAfter consecutive failures open it; an open breaker refuses tries
+// until coolDown has elapsed, then admits exactly one half-open probe —
+// the probe's success closes the breaker, its failure re-opens it for
+// another cool-down. One dead backend therefore costs the pool at most
+// tripAfter failed tries plus one probe per cool-down period, instead of
+// absorbing every point's retry budget.
+type breaker struct {
+	tripAfter int
+	coolDown  time.Duration
+
+	mu          sync.Mutex
+	state       breakerState
+	consecutive int
+	openedAt    time.Time
+}
+
+type breakerState int
+
+const (
+	stateClosed breakerState = iota
+	stateOpen
+	stateHalfOpen
+)
+
+// allow reports whether a try may proceed. When it admits the half-open
+// probe, the caller MUST report back with succeed, fail or release —
+// otherwise the breaker stays half-open and refuses everyone.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return true
+	case stateOpen:
+		if time.Since(b.openedAt) >= b.coolDown {
+			b.state = stateHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: a probe is already in flight
+		return false
+	}
+}
+
+// succeed records a successful try: the breaker closes and the failure
+// streak resets.
+func (b *breaker) succeed() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = stateClosed
+	b.consecutive = 0
+}
+
+// fail records a failed try and reports whether this call tripped the
+// breaker open (for trip accounting).
+func (b *breaker) fail() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	if b.state == stateHalfOpen || (b.state == stateClosed && b.consecutive >= b.tripAfter) {
+		b.state = stateOpen
+		b.openedAt = time.Now()
+		return true
+	}
+	return false
+}
+
+// release abandons a half-open probe without a verdict (the dispatch was
+// cancelled, not answered): the breaker re-opens with its original
+// open time so the next caller may probe immediately.
+func (b *breaker) release() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == stateHalfOpen {
+		b.state = stateOpen
+	}
+}
+
+// status reports the operator-facing state name and failure streak.
+func (b *breaker) status() (string, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateOpen:
+		return "open", b.consecutive
+	case stateHalfOpen:
+		return "half-open", b.consecutive
+	default:
+		return "closed", b.consecutive
+	}
+}

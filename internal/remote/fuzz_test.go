@@ -1,0 +1,44 @@
+package remote
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseBackends holds the backend-list parser to its trust-boundary
+// contract: arbitrary input either yields normalised, re-parseable URLs
+// or a field-qualified error — never a panic.
+func FuzzParseBackends(f *testing.F) {
+	f.Add("http://a:8080,http://b:8080")
+	f.Add(" https://x.example/prefix/ ,http://127.0.0.1:9000")
+	f.Add("")
+	f.Add(",")
+	f.Add("http://a,http://a")
+	f.Add("ftp://nope")
+	f.Add("http://user:pw@host")
+	f.Add("http://h?q=1")
+	f.Add("http://h#frag")
+	f.Add(strings.Repeat("http://a,", 40))
+	f.Add("http:///pathonly")
+	f.Add("localhost:8080")
+	f.Fuzz(func(t *testing.T, list string) {
+		out, err := ParseBackends(list)
+		if err != nil {
+			return
+		}
+		if len(out) == 0 || len(out) > MaxBackends {
+			t.Fatalf("accepted list yielded %d backends", len(out))
+		}
+		// Normalisation is a fixed point: re-parsing the joined output
+		// reproduces it exactly.
+		again, err := ParseBackends(strings.Join(out, ","))
+		if err != nil {
+			t.Fatalf("re-parsing normalised output failed: %v", err)
+		}
+		for i := range out {
+			if again[i] != out[i] {
+				t.Fatalf("normalisation not idempotent: %q -> %q", out[i], again[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,187 @@
+// Package proxytest is an in-process flaky HTTP proxy for chaos-testing
+// the remote dispatch layer. A Proxy sits between the remote client and
+// a real backend handler and injects one scripted network fault per
+// request — a dropped connection, a delay past the client's deadline, a
+// TCP reset, a truncated body, a 500, or a 429 storm — then passes
+// everything after the script through untouched, so tests can assert
+// that a sweep survives the fault AND still produces byte-identical
+// results.
+package proxytest
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+)
+
+// Mode is one injected fault.
+type Mode int
+
+const (
+	// Pass relays the request to the inner handler untouched.
+	Pass Mode = iota
+	// Drop accepts the request and closes the connection without
+	// writing a byte: the client sees an unexpected EOF.
+	Drop
+	// Delay sleeps DelayFor before answering — set DelayFor beyond the
+	// client's per-try deadline to simulate a hung backend.
+	Delay
+	// Reset closes the connection with TCP RST (SO_LINGER 0): the client
+	// sees "connection reset by peer".
+	Reset
+	// Truncate answers with a correct header but only half the body,
+	// then closes: the client sees a truncated JSON document.
+	Truncate
+	// Err500 answers 500 with a non-JSON body.
+	Err500
+	// Storm429 answers 429 with a Retry-After header (RetryAfter).
+	Storm429
+)
+
+// String names a mode for test output.
+func (m Mode) String() string {
+	switch m {
+	case Pass:
+		return "pass"
+	case Drop:
+		return "drop"
+	case Delay:
+		return "delay"
+	case Reset:
+		return "reset"
+	case Truncate:
+		return "truncate"
+	case Err500:
+		return "err500"
+	case Storm429:
+		return "storm429"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Proxy is an http.Handler that injects scripted faults in front of an
+// inner handler. Each incoming request consumes the next mode from the
+// script; after the script is exhausted every request is a Pass. Safe
+// for concurrent use.
+type Proxy struct {
+	// Inner is the real backend handler (e.g. serve.Server.Handler()).
+	Inner http.Handler
+	// DelayFor is the Delay mode's sleep. Default 2s.
+	DelayFor time.Duration
+	// RetryAfter is the Storm429 mode's Retry-After header value.
+	// Default "0".
+	RetryAfter string
+	// Decide, when set, overrides the script: it is called with the
+	// 1-based request number and returns the fault for that request.
+	Decide func(call int) Mode
+
+	mu     sync.Mutex
+	script []Mode
+	calls  int
+}
+
+// New builds a proxy over inner with a per-request fault script.
+func New(inner http.Handler, script ...Mode) *Proxy {
+	return &Proxy{Inner: inner, script: script}
+}
+
+// Calls reports how many requests the proxy has seen.
+func (p *Proxy) Calls() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.calls
+}
+
+// next consumes the fault for one request.
+func (p *Proxy) next() (Mode, int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.calls++
+	if p.Decide != nil {
+		return p.Decide(p.calls), p.calls
+	}
+	if p.calls <= len(p.script) {
+		return p.script[p.calls-1], p.calls
+	}
+	return Pass, p.calls
+}
+
+// ServeHTTP implements http.Handler.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	mode, _ := p.next()
+	switch mode {
+	case Pass:
+		p.Inner.ServeHTTP(w, r)
+	case Drop:
+		conn := hijack(w)
+		if conn != nil {
+			conn.Close()
+		}
+	case Delay:
+		d := p.DelayFor
+		if d <= 0 {
+			d = 2 * time.Second
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-r.Context().Done():
+			// The client gave up (deadline) — stop holding the goroutine.
+			return
+		case <-t.C:
+		}
+		p.Inner.ServeHTTP(w, r)
+	case Reset:
+		conn := hijack(w)
+		if tcp, ok := conn.(*net.TCPConn); ok {
+			tcp.SetLinger(0)
+		}
+		if conn != nil {
+			conn.Close()
+		}
+	case Truncate:
+		rec := httptest.NewRecorder()
+		p.Inner.ServeHTTP(rec, r)
+		body := rec.Body.Bytes()
+		conn := hijack(w)
+		if conn == nil {
+			return
+		}
+		fmt.Fprintf(conn, "HTTP/1.1 %d %s\r\nContent-Type: application/json\r\nContent-Length: %d\r\nConnection: close\r\n\r\n",
+			rec.Code, http.StatusText(rec.Code), len(body))
+		conn.Write(body[:len(body)/2])
+		conn.Close()
+	case Err500:
+		w.Header().Set("Content-Type", "text/plain")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintln(w, "backend exploded (injected)")
+	case Storm429:
+		ra := p.RetryAfter
+		if ra == "" {
+			ra = "0"
+		}
+		w.Header().Set("Retry-After", ra)
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprintln(w, `{"ok":false,"code":"overloaded","error":"storm (injected)"}`)
+	}
+}
+
+// hijack takes over the underlying connection, or nil when the
+// ResponseWriter cannot be hijacked (HTTP/2 — tests always use HTTP/1).
+func hijack(w http.ResponseWriter) net.Conn {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		return nil
+	}
+	conn, buf, err := hj.Hijack()
+	if err != nil {
+		return nil
+	}
+	if buf != nil {
+		buf.Flush()
+	}
+	return conn
+}

@@ -24,8 +24,27 @@ import (
 // the code in the body, because the service answered the question that
 // was asked.
 
-// retryAfterSeconds is the backoff hint sent with 429 responses.
-const retryAfterSeconds = 1
+// maxRetryAfterSeconds caps the 429 backoff hint: past a minute the
+// number stops being a schedule and starts being a lie.
+const maxRetryAfterSeconds = 60
+
+// retryAfterHint scales the 429 backoff hint with actual pool pressure:
+// 1 second base plus roughly how many queue "generations" of work sit
+// ahead of a retrying client (queued submissions per worker), capped at
+// maxRetryAfterSeconds. An idle-but-bursted pool says "1"; a deeply
+// backed-up one tells clients to stay away longer instead of inviting a
+// synchronized retry storm.
+func (s *Server) retryAfterHint() int {
+	queued, workers := s.pool.pressure()
+	if workers <= 0 {
+		workers = 1
+	}
+	secs := 1 + (queued+workers-1)/workers
+	if secs > maxRetryAfterSeconds {
+		secs = maxRetryAfterSeconds
+	}
+	return secs
+}
 
 // Handler returns the HTTP front-end for the server.
 func (s *Server) Handler() http.Handler {
@@ -38,7 +57,7 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		resp := s.Handle(r.Context(), &Request{Op: OpJob, Job: r.PathValue("id")})
-		writeResponse(w, resp)
+		s.writeResponse(w, resp)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -61,23 +80,23 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) serveOp(w http.ResponseWriter, r *http.Request, op string) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
 	if err != nil {
-		writeResponse(w, failResp("", CodeBadRequest,
+		s.writeResponse(w, failResp("", CodeBadRequest,
 			fmt.Sprintf("serve: reading request body: %v", err)))
 		return
 	}
 	var req Request
 	if err := json.Unmarshal(body, &req); err != nil {
-		writeResponse(w, failResp("", CodeBadRequest,
+		s.writeResponse(w, failResp("", CodeBadRequest,
 			fmt.Sprintf("serve: parsing request: %v", err)))
 		return
 	}
 	req.Op = op
-	writeResponse(w, s.Handle(r.Context(), &req))
+	s.writeResponse(w, s.Handle(r.Context(), &req))
 }
 
 // writeResponse maps a protocol response onto the wire: status code,
 // retry hint, JSON body.
-func writeResponse(w http.ResponseWriter, resp *Response) {
+func (s *Server) writeResponse(w http.ResponseWriter, resp *Response) {
 	status := http.StatusOK
 	switch resp.Code {
 	case CodeBadRequest:
@@ -86,7 +105,7 @@ func writeResponse(w http.ResponseWriter, resp *Response) {
 		status = http.StatusNotFound
 	case CodeOverloaded:
 		status = http.StatusTooManyRequests
-		w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
+		w.Header().Set("Retry-After", fmt.Sprint(s.retryAfterHint()))
 	case CodeDraining:
 		status = http.StatusServiceUnavailable
 	case CodeInternal:

@@ -28,6 +28,8 @@ type jobTable struct {
 type jobEntry struct {
 	status string
 	resp   *Response
+	// done/total is the sweep progress fed by the job's sweep loop.
+	done, total int
 }
 
 // add registers a new queued job and returns its id.
@@ -53,6 +55,15 @@ func (t *jobTable) setStatus(id, status string) {
 	}
 }
 
+// setProgress records a running sweep job's settled-point count.
+func (t *jobTable) setProgress(id string, done, total int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.m[id]; ok && e.status != JobDone {
+		e.done, e.total = done, total
+	}
+}
+
 // complete stores the job's final response.
 func (t *jobTable) complete(id string, resp *Response) {
 	t.mu.Lock()
@@ -73,11 +84,12 @@ func (t *jobTable) get(id string) (*Response, bool) {
 		return nil, false
 	}
 	if e.status != JobDone || e.resp == nil {
-		return &Response{OK: true, JobID: id, Status: e.status}, true
+		return &Response{OK: true, JobID: id, Status: e.status, PointsDone: e.done, PointsTotal: e.total}, true
 	}
 	resp := *e.resp
 	resp.JobID = id
 	resp.Status = JobDone
+	resp.PointsDone, resp.PointsTotal = e.done, e.total
 	return &resp, true
 }
 

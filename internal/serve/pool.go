@@ -16,8 +16,9 @@ import (
 
 // pool runs submitted funcs on a fixed set of workers.
 type pool struct {
-	queue chan func()
-	wg    sync.WaitGroup
+	workers int
+	queue   chan func()
+	wg      sync.WaitGroup
 
 	mu     sync.Mutex
 	closed bool
@@ -35,7 +36,7 @@ type pool struct {
 // while a worker slot is free).
 func newPool(workers, queueDepth int) *pool {
 	cap := workers + queueDepth
-	p := &pool{queue: make(chan func(), cap), slots: cap}
+	p := &pool{workers: workers, queue: make(chan func(), cap), slots: cap}
 	for w := 0; w < workers; w++ {
 		p.wg.Add(1)
 		go func() {
@@ -71,6 +72,22 @@ func (p *pool) submit(fn func()) error {
 	// just reserved, so this send cannot block.
 	p.queue <- fn
 	return nil
+}
+
+// pressure reports the pool's current load shape: how many admitted
+// submissions are waiting beyond the worker slots (the queue depth a new
+// request would sit behind), and the worker count. It feeds the
+// Retry-After hint on 429 responses, so the backoff a shed client is
+// told scales with how much work is actually ahead of it.
+func (p *pool) pressure() (queued, workers int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	inFlight := cap(p.queue) - p.slots
+	queued = inFlight - p.workers
+	if queued < 0 {
+		queued = 0
+	}
+	return queued, p.workers
 }
 
 // shedCount reports how many submissions were rejected by admission

@@ -132,6 +132,12 @@ type Response struct {
 	JobID string `json:"job_id,omitempty"`
 	// Status is the job state: "queued", "running" or "done".
 	Status string `json:"status,omitempty"`
+	// PointsDone / PointsTotal report a running sweep job's progress, so
+	// pollers of a long async sweep can tell "stuck" from "slow".
+	// PointsTotal is the sweep's rate count; PointsDone the points
+	// settled so far. Both zero for run jobs and pre-progress responses.
+	PointsDone  int `json:"points_done,omitempty"`
+	PointsTotal int `json:"points_total,omitempty"`
 }
 
 // ParseRequest parses and validates one request line. It is the trust

@@ -38,6 +38,12 @@ type Options struct {
 	// MaxJobs bounds the retained async-job table; completed jobs are
 	// evicted oldest-first beyond it. <= 0 means 1024.
 	MaxJobs int
+	// RunPoint overrides how sweep points execute; nil means local
+	// execution. A remote backend pool (internal/remote) plugs in here so
+	// a served sweep dispatches its points to other orion-serve
+	// instances — the server stays the protocol front-end while the
+	// points run elsewhere.
+	RunPoint orion.PointRunner
 }
 
 // Stats is an operator snapshot of the server's counters.
@@ -74,7 +80,7 @@ type Server struct {
 
 	// Seams for tests: the actual simulation entry points.
 	runSim   func(context.Context, orion.Config) (*orion.Result, error)
-	sweepSim func(context.Context, orion.Config, []float64) ([]*orion.Result, error)
+	sweepSim func(context.Context, orion.Config, []float64, orion.SweepProgress) ([]*orion.Result, error)
 }
 
 // New builds a Server. The cache directory is opened (and created)
@@ -108,8 +114,10 @@ func New(opts Options) (*Server, error) {
 		pool:     newPool(opts.Workers, opts.QueueDepth),
 		base:     base,
 		stopExec: stop,
-		runSim:   orion.RunContext,
-		sweepSim: orion.SweepContext,
+		runSim: orion.RunContext,
+		sweepSim: func(ctx context.Context, cfg orion.Config, rates []float64, progress orion.SweepProgress) ([]*orion.Result, error) {
+			return orion.SweepWithRunner(ctx, cfg, rates, opts.RunPoint, progress)
+		},
 	}
 	s.jobs.limit = opts.MaxJobs
 	return s, nil
@@ -216,14 +224,14 @@ func (s *Server) Handle(ctx context.Context, req *Request) *Response {
 	if req.Async {
 		return s.submitJob(req, cfg, digest)
 	}
-	out, cached, shared := s.resolve(ctx, req, cfg, digest)
+	out, cached, shared := s.resolve(ctx, req, cfg, digest, nil)
 	_ = shared
 	return out.response(req.ID, digest, cached)
 }
 
 // resolve produces the outcome for a request: cache lookup, then
 // singleflight-deduplicated execution on the worker pool.
-func (s *Server) resolve(ctx context.Context, req *Request, cfg orion.Config, digest string) (out *outcome, cached, shared bool) {
+func (s *Server) resolve(ctx context.Context, req *Request, cfg orion.Config, digest string, progress orion.SweepProgress) (out *outcome, cached, shared bool) {
 	if !req.NoCache {
 		if payload, ok := s.cache.Get(digest); ok {
 			if o := decodeOutcome(payload); o != nil {
@@ -234,7 +242,7 @@ func (s *Server) resolve(ctx context.Context, req *Request, cfg orion.Config, di
 		}
 	}
 	out, shared, err := s.flight.do(ctx, digest, func() *outcome {
-		return s.execute(req, cfg, digest)
+		return s.execute(req, cfg, digest, progress)
 	})
 	if err != nil {
 		// The caller gave up waiting; the execution (if any) continues
@@ -247,14 +255,14 @@ func (s *Server) resolve(ctx context.Context, req *Request, cfg orion.Config, di
 // execute is the singleflight leader body: admission, deadline, run,
 // cache write. It runs on the flight goroutine and is detached from any
 // single caller's context — only a server drain cancels it.
-func (s *Server) execute(req *Request, cfg orion.Config, digest string) *outcome {
+func (s *Server) execute(req *Request, cfg orion.Config, digest string, progress orion.SweepProgress) *outcome {
 	if !s.tryBegin() {
 		return &outcome{Code: CodeDraining, Error: "serve: server is draining, not admitting requests"}
 	}
 	defer s.end()
 
 	resCh := make(chan *outcome, 1)
-	job := func() { resCh <- s.simulate(req, cfg) }
+	job := func() { resCh <- s.simulate(req, cfg, progress) }
 	if err := s.pool.submit(job); err != nil {
 		return errOutcome(err)
 	}
@@ -271,7 +279,7 @@ func (s *Server) execute(req *Request, cfg orion.Config, digest string) *outcome
 
 // simulate runs the simulation under the request deadline. It executes
 // on a pool worker.
-func (s *Server) simulate(req *Request, cfg orion.Config) *outcome {
+func (s *Server) simulate(req *Request, cfg orion.Config, progress orion.SweepProgress) *outcome {
 	ctx := s.base
 	if d := s.deadline(req); d > 0 {
 		var cancel context.CancelFunc
@@ -290,7 +298,7 @@ func (s *Server) simulate(req *Request, cfg orion.Config) *outcome {
 		}
 		return &outcome{Result: res}
 	case OpSweep:
-		results, err := s.sweepSim(ctx, cfg, req.Rates)
+		results, err := s.sweepSim(ctx, cfg, req.Rates, progress)
 		out := &outcome{Results: results}
 		if err != nil {
 			code, faulted := codeOf(err)
@@ -328,10 +336,17 @@ func (s *Server) submitJob(req *Request, cfg orion.Config, digest string) *Respo
 	// submitting call.
 	jreq := *req
 	jreq.Async = false
+	// Seed the progress denominator immediately so the first poll of a
+	// sweep job already distinguishes "0 of N" from "not a sweep".
+	var progress orion.SweepProgress
+	if jreq.Op == OpSweep {
+		s.jobs.setProgress(id, 0, len(jreq.Rates))
+		progress = func(done, total int) { s.jobs.setProgress(id, done, total) }
+	}
 	go func() {
 		defer s.end()
 		s.jobs.setStatus(id, JobRunning)
-		out, cached, _ := s.resolve(s.base, &jreq, cfg, digest)
+		out, cached, _ := s.resolve(s.base, &jreq, cfg, digest, progress)
 		s.jobs.complete(id, out.response(jreq.ID, digest, cached))
 	}()
 	return &Response{ID: req.ID, OK: true, JobID: id, Status: JobQueued, Digest: digest}

@@ -290,7 +290,7 @@ func TestHandleBadConfigIsBadRequest(t *testing.T) {
 
 func TestHandleSweepPointCodes(t *testing.T) {
 	s, _ := newTestServer(t, Options{}, nil)
-	s.sweepSim = func(ctx context.Context, cfg orion.Config, rates []float64) ([]*orion.Result, error) {
+	s.sweepSim = func(ctx context.Context, cfg orion.Config, rates []float64, progress orion.SweepProgress) ([]*orion.Result, error) {
 		// Middle point saturates; the others finish.
 		return []*orion.Result{{AvgLatency: 1}, nil, {AvgLatency: 2}},
 			&orion.SweepError{Rates: []float64{rates[1]}, Errs: []error{orion.ErrSaturated}}
@@ -316,7 +316,7 @@ func TestHandleSweepPointCodes(t *testing.T) {
 
 func TestHandleAsyncJobLifecycle(t *testing.T) {
 	s, _ := newTestServer(t, Options{}, nil)
-	s.sweepSim = func(ctx context.Context, cfg orion.Config, rates []float64) ([]*orion.Result, error) {
+	s.sweepSim = func(ctx context.Context, cfg orion.Config, rates []float64, progress orion.SweepProgress) ([]*orion.Result, error) {
 		return []*orion.Result{{AvgLatency: 5}}, nil
 	}
 	req := &Request{Op: OpSweep, Config: testConfigJSON(t, 11), Rates: []float64{0.02}, Async: true}

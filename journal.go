@@ -52,6 +52,10 @@ const (
 	errKindTimeout   = "timeout"
 	errKindCancelled = "cancelled"
 	errKindFailed    = "failed"
+	// errKindBackendDown: a remote-dispatch point found every backend
+	// open-circuit with local fallback disabled. Transient by nature —
+	// a resume with healthy backends (or fallback enabled) re-runs it.
+	errKindBackendDown = "backend_down"
 )
 
 // errKindOf classifies an error for the journal. Order matters:
@@ -65,6 +69,8 @@ func errKindOf(err error) string {
 		return errKindSaturated
 	case errors.Is(err, ErrDeadlock):
 		return errKindDeadlock
+	case errors.Is(err, ErrBackendDown):
+		return errKindBackendDown
 	case errors.Is(err, context.DeadlineExceeded):
 		return errKindTimeout
 	case errors.Is(err, context.Canceled):

@@ -8,6 +8,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"orion/internal/core"
@@ -493,6 +494,32 @@ func Sweep(cfg Config, rates []float64) ([]*Result, error) {
 // panic as that point's error instead of tearing down the process, so a
 // sweep always returns its partial results.
 func SweepContext(ctx context.Context, cfg Config, rates []float64) ([]*Result, error) {
+	return SweepWithRunner(ctx, cfg, rates, nil, nil)
+}
+
+// PointRunner executes one sweep point: the configuration at one
+// injection rate. RunPoint is the in-process default; internal/remote's
+// Pool.RunPoint dispatches the point to a remote orion-serve backend
+// instead. Runners must be safe for concurrent use — sweeps call them
+// from several workers at once.
+type PointRunner func(ctx context.Context, cfg Config, rate float64) (*Result, error)
+
+// SweepProgress receives settled-point counts as a sweep advances:
+// done points out of total, called once per point in completion order.
+// Callbacks run on sweep worker goroutines and must be cheap and
+// concurrency-safe.
+type SweepProgress func(done, total int)
+
+// SweepWithRunner is SweepContext with a pluggable per-point executor
+// and a progress feed. Each rate is handed to run on a bounded worker
+// pool (nil means RunPoint, the in-process default); progress, when
+// non-nil, is invoked after every settled point. The serving layer uses
+// the runner seam to dispatch points to remote backends and the
+// progress seam to report points_done on async job polls.
+func SweepWithRunner(ctx context.Context, cfg Config, rates []float64, run PointRunner, progress SweepProgress) ([]*Result, error) {
+	if run == nil {
+		run = RunPoint
+	}
 	results := make([]*Result, len(rates))
 	errs := make([]error, len(rates))
 
@@ -500,6 +527,7 @@ func SweepContext(ctx context.Context, cfg Config, rates []float64) ([]*Result, 
 	if workers > len(rates) {
 		workers = len(rates)
 	}
+	var done atomic.Int64
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -507,7 +535,10 @@ func SweepContext(ctx context.Context, cfg Config, rates []float64) ([]*Result, 
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i], errs[i] = runPoint(ctx, cfg, rates[i])
+				results[i], errs[i] = run(ctx, cfg, rates[i])
+				if progress != nil {
+					progress(int(done.Add(1)), len(rates))
+				}
 			}
 		}()
 	}
@@ -545,6 +576,16 @@ func collectSweepError(rates []float64, errs []error) *SweepError {
 // classification for retry purposes (unexported: callers see the message).
 var errPointPanic = errors.New("panicked")
 
+// RunPoint runs one sweep point exactly as Sweep does — panic recovery,
+// the SimConfig.PointTimeout deadline, transient-failure retries with
+// deterministic backoff, and the default to a single tick worker (a
+// sweep already fills the machine with concurrent points). It is the
+// default PointRunner, exported so remote dispatch layers can fall back
+// to the identical local execution.
+func RunPoint(ctx context.Context, cfg Config, rate float64) (*Result, error) {
+	return runPoint(ctx, cfg, rate)
+}
+
 // runPoint runs one sweep point, converting panics to errors, applying
 // the per-point deadline, and retrying transient failures up to
 // SimConfig.PointRetries times with jittered backoff. Only failures that
@@ -576,13 +617,20 @@ func runPoint(ctx context.Context, cfg Config, rate float64) (*Result, error) {
 	return res, err
 }
 
-// pointBackoff sleeps before a retry: attempt-scaled with deterministic
-// per-rate jitter (derived from the rate bits, so identical sweeps back
-// off identically) to decorrelate retries across a failing pool. It
-// returns false if the sweep was cancelled while waiting.
-func pointBackoff(ctx context.Context, attempt int, rate float64) bool {
+// pointBackoffDelay is the pure schedule behind pointBackoff: the
+// attempt number scales a per-rate jitter base derived from the rate's
+// bit pattern, so identical sweeps back off identically while retries
+// across a failing pool decorrelate.
+func pointBackoffDelay(attempt int, rate float64) time.Duration {
 	jitterMs := 50 + (math.Float64bits(rate)*0x9e3779b97f4a7c15)>>56%100
-	t := time.NewTimer(time.Duration(attempt) * time.Duration(jitterMs) * time.Millisecond)
+	return time.Duration(attempt) * time.Duration(jitterMs) * time.Millisecond
+}
+
+// pointBackoff sleeps before a retry under pointBackoffDelay's schedule.
+// It returns false if the sweep was cancelled while waiting (a cancelled
+// context returns immediately).
+func pointBackoff(ctx context.Context, attempt int, rate float64) bool {
+	t := time.NewTimer(pointBackoffDelay(attempt, rate))
 	defer t.Stop()
 	select {
 	case <-ctx.Done():
