@@ -103,6 +103,30 @@ func BenchmarkMesh32VC8Workers2(b *testing.B) { benchMesh32Workers(b, 2) }
 func BenchmarkMesh32VC8Workers4(b *testing.B) { benchMesh32Workers(b, 4) }
 func BenchmarkMesh32VC8Workers8(b *testing.B) { benchMesh32Workers(b, 8) }
 
+// --- Activity-gated scheduling: the low-injection regime ---
+
+// At 0.0003 packets/node/cycle — a sweep's left edge, ~2% of the mesh's
+// bisection bound — nearly every router is idle nearly every cycle, so
+// the active-set scheduler's O(active) tick loop dominates the
+// always-tick O(nodes) loop. The AlwaysTick twin pins the reference
+// cost; CI asserts the ratio. Results are bit-identical between the two
+// modes (TestGatingBitIdentity), so this is pure scheduler overhead.
+func benchMesh32LowLoad(b *testing.B, alwaysTick bool) {
+	cfg := OnChipMesh(32, 32, VC8(), 0.0003)
+	cfg.Sim.Workers = 1
+	cfg.Sim.AlwaysTick = alwaysTick
+	benchRun(b, cfg)
+}
+
+func BenchmarkMesh32VC8LowLoad(b *testing.B)           { benchMesh32LowLoad(b, false) }
+func BenchmarkMesh32VC8LowLoadAlwaysTick(b *testing.B) { benchMesh32LowLoad(b, true) }
+
+// BenchmarkFig5VC64LowLoad is the paper's Figure-5 torus far below
+// saturation (0.01 vs the 0.10 figure point) — the regime of a latency
+// sweep's left edge, where gating trims the 59-module tick loop to the
+// handful of modules with flits in flight.
+func BenchmarkFig5VC64LowLoad(b *testing.B) { benchFig5(b, VC64(), 0.01) }
+
 // BenchmarkFig5cBreakdown reports VC64's component power split (buffers
 // and crossbar dominant, arbiter under 1%, links under ~16%).
 func BenchmarkFig5cBreakdown(b *testing.B) {

@@ -1,0 +1,203 @@
+package orion
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// Activity-gating bit-identity: the active-set scheduler's whole contract
+// is that skipping quiescent modules changes nothing observable. These
+// tests diff the gated path (the default) against AlwaysTick — the
+// retained reference path — the same way parallel_test.go diffs worker
+// counts: mid-run StateHash plus the complete Result, float for float,
+// across router families, topologies and worker counts, including
+// snapshot resume across the two modes and fault schedules on
+// mostly-idle networks.
+
+var gatingCases = []struct {
+	name string
+	cfg  func() Config
+}{
+	// Torus with bubble rings: the ordered phase participates in gating.
+	{"vc64-bubble-torus", func() Config { return OnChip4x4(VC64(), 0.10) }},
+	// Low injection on a mesh — the regime gating exists for, where most
+	// routers sleep most cycles.
+	{"mesh8x8-vc8-lowload", func() Config { return OnChipMesh(8, 8, VC8(), 0.005) }},
+	{"cmesh3x3x3-vc8", func() Config { return OnChipCMesh(3, 3, 3, VC8(), 0.02) }},
+	// Central-buffered router: the CB quiescence predicate.
+	{"cb-chip2chip", func() Config { return ChipToChip4x4(CB(), 0.06) }},
+	// Wormhole: the VC-free quiescence predicate.
+	{"wh64-torus", func() Config { return OnChip4x4(WH64(), 0.08) }},
+}
+
+// runGating completes one small run with the given worker count and
+// scheduler mode, returning the state hash at cycle 400 and the final
+// result.
+func runGating(t *testing.T, cfg Config, workers int, alwaysTick bool) (uint64, *Result) {
+	t.Helper()
+	cfg.Sim.SamplePackets = 400
+	cfg.Sim.Workers = workers
+	cfg.Sim.AlwaysTick = alwaysTick
+	s, err := NewSim(cfg)
+	if err != nil {
+		t.Fatalf("workers=%d alwaysTick=%v: %v", workers, alwaysTick, err)
+	}
+	if _, err := s.StepTo(context.Background(), 400); err != nil {
+		t.Fatalf("workers=%d alwaysTick=%v: %v", workers, alwaysTick, err)
+	}
+	h, err := s.StateHash()
+	if err != nil {
+		t.Fatalf("workers=%d alwaysTick=%v: %v", workers, alwaysTick, err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatalf("workers=%d alwaysTick=%v: %v", workers, alwaysTick, err)
+	}
+	return h, res
+}
+
+func TestGatingBitIdentity(t *testing.T) {
+	for _, tc := range gatingCases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, w := range []int{1, 2, 4, 7} {
+				refHash, refRes := runGating(t, tc.cfg(), w, true)
+				h, res := runGating(t, tc.cfg(), w, false)
+				if h != refHash {
+					t.Errorf("workers=%d: gated state hash at cycle 400 = %#x, always-tick %#x", w, h, refHash)
+				}
+				if !reflect.DeepEqual(res, refRes) {
+					t.Errorf("workers=%d: gated result differs from always-tick:\n got  %+v\n want %+v", w, res, refRes)
+				}
+			}
+		})
+	}
+}
+
+// TestGatingSnapshotResumeAcrossModes checks that AlwaysTick, like
+// Workers, is an execution detail outside the config digest: a snapshot
+// captured under either scheduler restores under the other (the restore
+// itself re-verifies state by deterministic replay) and finishes with the
+// identical result.
+func TestGatingSnapshotResumeAcrossModes(t *testing.T) {
+	ctx := context.Background()
+	base := OnChip4x4(VC64(), 0.10)
+	base.Sim.SamplePackets = 400
+
+	for _, capture := range []bool{false, true} {
+		cfg := base
+		cfg.Sim.AlwaysTick = capture
+		s, err := NewSim(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.StepTo(ctx, 600); err != nil {
+			t.Fatal(err)
+		}
+		snapshot, err := s.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, resume := range []bool{false, true} {
+			rcfg := base
+			rcfg.Sim.AlwaysTick = resume
+			r, err := Resume(ctx, rcfg, snapshot)
+			if err != nil {
+				t.Fatalf("capture alwaysTick=%v resume alwaysTick=%v: %v", capture, resume, err)
+			}
+			res, err := r.Run()
+			if err != nil {
+				t.Fatalf("capture alwaysTick=%v resume alwaysTick=%v: %v", capture, resume, err)
+			}
+			if !reflect.DeepEqual(res, want) {
+				t.Errorf("capture alwaysTick=%v resume alwaysTick=%v: result differs from interrupted run's", capture, resume)
+			}
+		}
+	}
+}
+
+// TestGatingFaultWindowsOnIdleNetwork targets the sharpest gating hazard:
+// fault windows scheduled on links and routers that are otherwise idle.
+// A single-source broadcast leaves 15 of 16 sources silent and most
+// routers asleep between packets, yet every fault window must open, act
+// and account exactly as under the always-tick engine (faulted routers
+// never sleep, by the Quiescent contract).
+func TestGatingFaultWindowsOnIdleNetwork(t *testing.T) {
+	build := func(alwaysTick bool) Config {
+		cfg := OnChip4x4(VC64(), 0.15)
+		cfg.Traffic.Pattern = BroadcastFrom(BroadcastNode12)
+		cfg.Sim.SamplePackets = 300
+		cfg.Sim.AlwaysTick = alwaysTick
+		cfg.Faults = &FaultsConfig{
+			Seed: 11,
+			Faults: []Fault{
+				// On the broadcast source's outbound links: these see
+				// traffic, so drops and flips must tally.
+				{Kind: FaultLinkDrop, Node: BroadcastNode12, Port: 0, Start: 1200, Duration: 400},
+				{Kind: FaultBitFlip, Node: BroadcastNode12, Port: 1, Rate: 0.5},
+				// On a far corner the broadcast barely touches: the
+				// window still opens and closes on schedule even though
+				// the router is quiescent nearly every cycle.
+				{Kind: FaultLinkStall, Node: 15, Port: 2, Start: 800, Duration: 4000},
+				{Kind: FaultPortStall, Node: 12, Port: 3, Start: 500, Duration: 2500},
+			},
+		}
+		return cfg
+	}
+	want, err := Run(build(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(build(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("gated faulted run differs from always-tick:\n got faults %+v\n want faults %+v", got.Faults, want.Faults)
+	}
+	if got.Faults.DroppedFlits == 0 && got.Faults.FlippedFlits == 0 {
+		t.Error("fault schedule had no observable effect — the windows never fired")
+	}
+}
+
+// TestGatingBitIdentityWithInvariants reruns a gated-vs-reference diff
+// with the runtime invariant checker forced on, proving the checker's
+// conservation ledger sees identical event streams when most modules
+// sleep (the ISSUE's ORION_INVARIANTS=1 criterion, pinned here so the
+// guarantee does not depend on the CI environment).
+func TestGatingBitIdentityWithInvariants(t *testing.T) {
+	cfg := func(alwaysTick bool) Config {
+		c := OnChipMesh(8, 8, VC8(), 0.01)
+		c.Sim.SamplePackets = 300
+		c.Sim.AlwaysTick = alwaysTick
+		c.CheckInvariants = InvariantOn
+		return c
+	}
+	want, err := Run(cfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(cfg(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("gated result differs from always-tick under the invariant checker")
+	}
+}
+
+// TestGatingSelfCheck drives VerifyEventPath with the gated sequential
+// engine, which now adds the always-tick oracle to the fast-vs-reference
+// lockstep.
+func TestGatingSelfCheck(t *testing.T) {
+	cfg := OnChip4x4(VC64(), 0.05)
+	cfg.Sim.SamplePackets = 200
+	cfg.Sim.Workers = 1
+	if err := VerifyEventPath(context.Background(), cfg, 200, 0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -34,6 +34,15 @@ type Network struct {
 	sources []*router.Source
 	sinks   []*router.Sink
 
+	// Activity gates (active-set scheduler; see sim/gate.go), one per
+	// module, indexed by node. All nil when gating is off (AlwaysTick /
+	// ORION_ALWAYS_TICK) — every consumer tolerates a nil gate. srcGates
+	// is also the run loop's hook: the generator enqueuing a packet must
+	// wake the source before the engine steps that cycle.
+	srcGates  []*sim.Gate
+	rtrGates  []*sim.Gate
+	sinkGates []*sim.Gate
+
 	sampler   *stats.LatencySampler
 	constLink []float64
 	staticW   [][stats.NumComponents]float64
@@ -124,6 +133,9 @@ func Build(cfg Config) (*Network, error) {
 	if workers > 1 {
 		engine.SetParallel(workers)
 	}
+	if cfg.effectiveGating() {
+		engine.EnableGating()
+	}
 	account := stats.NewEnergyAccount(nodes)
 	meter := stats.NewMeter(account)
 	meter.SetFixedActivity(cfg.FixedActivity)
@@ -201,6 +213,18 @@ func Build(cfg Config) (*Network, error) {
 		}
 	}
 
+	// Activity gates. Router gates exist before wire() runs because link
+	// wires need the consuming neighbour's gate as their waker; source
+	// and sink gates are filled in by wire() as it creates the modules.
+	// On an ungated engine NewGate returns nil and everything degrades to
+	// always-tick.
+	n.srcGates = make([]*sim.Gate, nodes)
+	n.rtrGates = make([]*sim.Gate, nodes)
+	n.sinkGates = make([]*sim.Gate, nodes)
+	for node := 0; node < nodes; node++ {
+		n.rtrGates[node] = engine.NewGate(n.routers[node])
+	}
+
 	if err := n.wire(); err != nil {
 		return nil, err
 	}
@@ -256,16 +280,19 @@ func Build(cfg Config) (*Network, error) {
 	// by the sink flusher on the coordinator in node order.
 	if workers > 1 {
 		for node := 0; node < nodes; node++ {
-			engine.RegisterSharded(shardOf(node), n.sources[node])
+			engine.RegisterShardedGated(shardOf(node), n.sources[node], n.srcGates[node])
 		}
 		for node := 0; node < nodes; node++ {
-			engine.RegisterSharded(shardOf(node), n.routers[node])
+			engine.RegisterShardedGated(shardOf(node), n.routers[node], n.rtrGates[node])
 		}
 		if rcfg.Kind == router.VirtualChannel && rcfg.Bubble {
 			for node := 0; node < nodes; node++ {
 				xb := n.routers[node].(*router.XBRouter)
 				xb.SetDeferredRings(true)
-				engine.RegisterOrdered(xb)
+				// The ordered phase shares the router's gate: Quiescent
+				// covers TickOrdered, so a sleeping router's ordered
+				// sub-phase is skipped along with its Tick.
+				engine.RegisterOrderedGated(xb, n.rtrGates[node])
 			}
 		}
 		n.sinkPending = make([][]*router.Sink, workers)
@@ -279,18 +306,20 @@ func Build(cfg Config) (*Network, error) {
 		for node := 0; node < nodes; node++ {
 			w := shardOf(node)
 			n.sinks[node].SetDeferred(&n.sinkPending[w])
-			engine.RegisterSharded(w, n.sinks[node])
+			engine.RegisterShardedGated(w, n.sinks[node], n.sinkGates[node])
 		}
+		// The flusher stays ungated: deferred records exist only on
+		// cycles a sink ticked, and draining empty lists is cheap.
 		engine.Register(sinkFlusher{n})
 	} else {
 		for node := 0; node < nodes; node++ {
-			engine.Register(n.sources[node])
+			engine.RegisterGated(n.sources[node], n.srcGates[node])
 		}
 		for node := 0; node < nodes; node++ {
-			engine.Register(n.routers[node])
+			engine.RegisterGated(n.routers[node], n.rtrGates[node])
 		}
 		for node := 0; node < nodes; node++ {
-			engine.Register(n.sinks[node])
+			engine.RegisterGated(n.sinks[node], n.sinkGates[node])
 		}
 	}
 	return n, nil
@@ -350,7 +379,12 @@ func (n *Network) wire() error {
 			data := sim.NewWire[*flit.Flit](fmt.Sprintf("link %d.%d->%d", node, port, neighbor))
 			credit := sim.NewLossyWire[flit.Credit](fmt.Sprintf("credit %d<-%d", node, neighbor))
 			// node's router sends on data; neighbor's router returns the
-			// credits.
+			// credits. Each wire wakes its consumer's gate: the neighbour
+			// receives the flit, this node receives the returning credit
+			// (credits are lossy, so a sleeping consumer would silently
+			// lose one — the waker is what keeps gating exact).
+			data.SetWaker(n.rtrGates[neighbor])
+			credit.SetWaker(n.rtrGates[node])
 			n.engine.ConnectSharded(n.shardOf(node), data)
 			n.engine.ConnectSharded(n.shardOf(neighbor), credit)
 			n.dataWires = append(n.dataWires, data)
@@ -367,6 +401,7 @@ func (n *Network) wire() error {
 		inj := sim.NewWire[*flit.Flit](fmt.Sprintf("inject %d", node))
 		injCred := sim.NewLossyWire[flit.Credit](fmt.Sprintf("inject-credit %d", node))
 		// The source sends on inj, the router on injCred — both shard(node).
+		inj.SetWaker(n.rtrGates[node])
 		n.engine.ConnectSharded(n.shardOf(node), inj)
 		n.engine.ConnectSharded(n.shardOf(node), injCred)
 		n.dataWires = append(n.dataWires, inj)
@@ -379,6 +414,8 @@ func (n *Network) wire() error {
 			return err
 		}
 		n.sources[node] = src
+		n.srcGates[node] = n.engine.NewGate(src)
+		injCred.SetWaker(n.srcGates[node])
 
 		// Ejection (immediate, Section 4.1).
 		eject := sim.NewWire[*flit.Flit](fmt.Sprintf("eject %d", node))
@@ -392,6 +429,8 @@ func (n *Network) wire() error {
 			return err
 		}
 		n.sinks[node] = sink
+		n.sinkGates[node] = n.engine.NewGate(sink)
+		eject.SetWaker(n.sinkGates[node])
 	}
 	return nil
 }

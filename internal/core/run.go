@@ -333,7 +333,9 @@ func (n *Network) tick(sample bool) error {
 	)
 	if n.cfg.Trace != nil {
 		pkts, err = n.cfg.Trace.Tick(n.gen, n.engine.Cycle(), sample)
-	} else {
+	} else if !n.gen.Idle() {
+		// An all-zero rate vector (e.g. a trace-free drain phase) never
+		// injects; skipping the call keeps the cycle loop O(active).
 		pkts, err = n.gen.Tick(n.engine.Cycle(), sample)
 	}
 	if err != nil {
@@ -354,6 +356,10 @@ func (n *Network) tick(sample bool) error {
 			n.injectedFlits += int64(len(p.Flits))
 		}
 		n.sources[p.Packet.Src].Enqueue(p.Flits)
+		// Wake the source's gate before the engine steps: the enqueue
+		// happens within the same cycle the engine is about to execute,
+		// and Step drains wake bits first. Nil-safe when gating is off.
+		n.srcGates[p.Packet.Src].Wake()
 	}
 	return n.engine.Step()
 }

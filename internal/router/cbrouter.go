@@ -206,6 +206,26 @@ func (r *CBRouter) BufferedFlits() int {
 	return n
 }
 
+// Quiescent implements sim.Gated: with empty input buffers, an empty
+// central buffer, no open packet records and no drop latch armed, every
+// stage of Tick is a no-op until a wire delivers a flit or credit. The
+// check is deliberately conservative — a packet whose written entries
+// have all been read keeps its record open until the tail arrives, and
+// the record (not just buffered flits) holds the router awake. A router
+// with a fault view never sleeps.
+func (r *CBRouter) Quiescent() bool {
+	if r.faults != nil || r.used != 0 {
+		return false
+	}
+	for p := 0; p < r.cfg.Ports; p++ {
+		if r.inQ[p].len() != 0 || r.curWrite[p] != nil ||
+			r.outQ[p].len() != 0 || r.dropping[p] {
+			return false
+		}
+	}
+	return true
+}
+
 // Tick implements sim.Module: read allocation (CB → links), write
 // allocation (input buffers → CB), then receive. A flit therefore takes
 // three stages through the router: input buffer write at cycle t, central

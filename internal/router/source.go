@@ -70,6 +70,13 @@ func (s *Source) Enqueue(flits []*flit.Flit) {
 // QueuedFlits returns the number of flits awaiting injection.
 func (s *Source) QueuedFlits() int { return s.queue.len() }
 
+// Quiescent implements sim.Gated: an empty source queue means Tick can
+// only consume a returning credit, and the credit wire's waker re-raises
+// the gate for exactly those cycles. Mid-packet injection always leaves
+// the tail queued, so queue emptiness covers curVC too. The network wakes
+// the gate whenever the generator enqueues a packet.
+func (s *Source) Quiescent() bool { return s.queue.len() == 0 }
+
 // Tick implements sim.Module: receive credits, then inject at most one
 // flit. Packets are injected whole (flits of one packet are never
 // interleaved with another packet's on the injection channel); the head
@@ -175,6 +182,13 @@ func (s *Sink) SetRecord(r SinkRecord) { s.record = r }
 // replays it. pending must be written only by this sink's tick goroutine.
 // nil restores immediate delivery.
 func (s *Sink) SetDeferred(pending *[]*Sink) { s.pending = pending }
+
+// Quiescent implements sim.Gated: a sink holds no state between cycles —
+// it only reacts to a delivered flit, and the ejection wire's waker
+// raises the gate for exactly the cycles one is visible. (The deferred
+// stash is always flushed within the same cycle, so it never carries
+// work across a sleep.)
+func (s *Sink) Quiescent() bool { return true }
 
 // Tick implements sim.Module.
 func (s *Sink) Tick(cycle int64) error {

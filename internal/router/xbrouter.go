@@ -11,7 +11,10 @@ import (
 // Router is the interface the network builder uses to wire any router
 // microarchitecture into the fabric.
 type Router interface {
-	sim.Module
+	// Gated = Module + Quiescent: every router kind must advertise
+	// quiescence so the engine's active-set scheduler can skip it (see
+	// sim/gate.go).
+	sim.Gated
 	// AttachInput connects an incoming data wire and the credit wire on
 	// which this router returns credits upstream.
 	AttachInput(port int, data *sim.Wire[*flit.Flit], credit *sim.Wire[flit.Credit]) error
@@ -266,6 +269,34 @@ func (r *XBRouter) BufferedFlits() int {
 		}
 	}
 	return n
+}
+
+// Quiescent implements sim.Gated: with no buffered flits, no VC in any
+// pipeline stage, no pending switch grants and no staged ring updates,
+// every stage of Tick (and TickOrdered) is a no-op until a wire delivers
+// a flit or credit — arbitration pickers only advance on a non-empty
+// request set, so skipped ticks leave them exactly where an always-tick
+// run would. A router with a fault view never sleeps: fault windows must
+// open, close and count stall cycles on schedule even on idle links.
+func (r *XBRouter) Quiescent() bool {
+	if r.faults != nil || len(r.stExec) != 0 || len(r.ringOps) != 0 {
+		return false
+	}
+	for p := range r.in {
+		for v := range r.in[p] {
+			ivc := &r.in[p][v]
+			if ivc.q.len() != 0 || ivc.state != vcIdle || ivc.pendingST {
+				return false
+			}
+		}
+		for v := range r.out[p] {
+			ovc := &r.out[p][v]
+			if !ovc.free || ovc.dropping {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // Tick implements sim.Module. Stage order within a tick keeps the paper's

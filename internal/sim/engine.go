@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Module is a hardware block with per-cycle behaviour. Modules read values
@@ -42,8 +43,16 @@ type Engine struct {
 	// and the wire latch. nextIdx numbers sharded registrations globally
 	// so a cycle's first error is chosen deterministically.
 	pool    *pool
-	ordered []OrderedTicker
+	ordered []orderedEntry
 	nextIdx int
+
+	// Activity gating (see gate.go). moduleGates is index-aligned with
+	// modules; nil entries tick unconditionally. gateWords holds one
+	// shared atomic word per 64 gates for the wake bitmap.
+	gating      bool
+	gates       []*Gate
+	gateWords   []*atomic.Uint64
+	moduleGates []*Gate
 }
 
 // NewEngine returns an engine publishing on the given bus. A nil bus is
@@ -66,6 +75,7 @@ func (e *Engine) Cycle() int64 { return e.cycle }
 func (e *Engine) Register(m Module) {
 	if m != nil {
 		e.modules = append(e.modules, m)
+		e.moduleGates = append(e.moduleGates, nil)
 	}
 }
 
@@ -115,9 +125,25 @@ func (e *Engine) Step() error {
 	if e.pool != nil {
 		return e.stepParallel()
 	}
-	for _, m := range e.modules {
-		if err := e.tickModule(m); err != nil {
-			return err
+	if e.gating {
+		e.drainWakes()
+		for i, m := range e.modules {
+			g := e.moduleGates[i]
+			if g != nil && !g.awake {
+				continue
+			}
+			if err := e.tickModule(m); err != nil {
+				return err
+			}
+			if g != nil && g.q.Quiescent() {
+				g.awake = false
+			}
+		}
+	} else {
+		for _, m := range e.modules {
+			if err := e.tickModule(m); err != nil {
+				return err
+			}
 		}
 	}
 	e.coord.latchAll()

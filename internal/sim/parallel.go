@@ -50,10 +50,19 @@ type OrderedTicker interface {
 }
 
 // shardModule pairs a module with its global registration index, used to
-// pick a deterministic first error when several shards fail in one cycle.
+// pick a deterministic first error when several shards fail in one cycle,
+// and its activity gate (nil when ungated; see gate.go).
 type shardModule struct {
 	m   Module
 	idx int
+	g   *Gate
+}
+
+// orderedEntry pairs an ordered-phase module with its activity gate (nil
+// when ungated).
+type orderedEntry struct {
+	m OrderedTicker
+	g *Gate
 }
 
 // shardError is a worker's first module error of the current cycle.
@@ -161,12 +170,21 @@ func (p *pool) worker(w int) {
 			continue
 		}
 		for _, sm := range p.shards[w] {
+			// Skip sleeping modules. awake is owned by this worker during
+			// the tick phase: the coordinator only writes it between
+			// cycles, while every worker is parked.
+			if sm.g != nil && !sm.g.awake {
+				continue
+			}
 			if err := tickModule(sm.m, cycle); err != nil {
 				// Record the first error and stop the shard, mirroring
 				// the sequential engine, which ticks no module after a
 				// failing one.
 				p.errs[w] = shardError{idx: sm.idx, err: err}
 				break
+			}
+			if sm.g != nil && sm.g.q.Quiescent() {
+				sm.g.awake = false
 			}
 		}
 		p.done.Add(1)
@@ -270,7 +288,7 @@ func (e *Engine) RegisterOrdered(m OrderedTicker) {
 	if m == nil || e.pool == nil {
 		return
 	}
-	e.ordered = append(e.ordered, m)
+	e.ordered = append(e.ordered, orderedEntry{m: m})
 }
 
 // stepParallel is Step for a parallel engine: parallel tick phase,
@@ -283,11 +301,23 @@ func (e *Engine) stepParallel() error {
 		// the engine implies the pool is only reachable from here.
 		runtime.SetFinalizer(e, func(e *Engine) { e.pool.shutdown() })
 	}
+	// Drain wake bits into awake flags before releasing the workers: the
+	// coordinator is the only goroutine running here, so the drain races
+	// nothing, and the epoch barrier publishes the flags to the workers.
+	if e.gating {
+		e.drainWakes()
+	}
 	if err := e.pool.runPhase(phaseTick, e.cycle); err != nil {
 		return err
 	}
-	for _, m := range e.ordered {
-		if err := tickOrderedModule(m, e.cycle); err != nil {
+	for _, oe := range e.ordered {
+		// A gate put to sleep during this cycle's tick phase is safe to
+		// skip here too: Quiescent covers TickOrdered, and the tick-phase
+		// barrier publishes the workers' awake writes.
+		if oe.g != nil && !oe.g.awake {
+			continue
+		}
+		if err := tickOrderedModule(oe.m, e.cycle); err != nil {
 			return err
 		}
 	}

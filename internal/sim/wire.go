@@ -39,6 +39,13 @@ type Wire[T any] struct {
 	tracker *latchTracker
 	armed   bool
 	seq     int
+
+	// waker, when set, is the consuming module's activity gate: every
+	// Send wakes the consumer for the cycle the value becomes visible
+	// (see gate.go). Lossy wires drop unconsumed values at latch, so a
+	// sleeping consumer missing a delivery would silently change
+	// results — the waker is what makes gating exact.
+	waker *Gate
 }
 
 // NewWire returns a strict wire: overwriting an unconsumed value is an
@@ -71,6 +78,11 @@ func (w *Wire[T]) Send(v T) error {
 	}
 	return nil
 }
+
+// SetWaker attaches the consuming module's activity gate: a latch that
+// leaves a value visible wakes the gate for the delivery cycle. A nil
+// gate (ungated engine) is accepted and costs one branch per dirty latch.
+func (w *Wire[T]) SetWaker(g *Gate) { w.waker = g }
 
 // Busy reports whether a value has already been sent this cycle.
 func (w *Wire[T]) Busy() bool { return w.nextOK }
@@ -131,18 +143,25 @@ func (w *Wire[T]) latchArmed() (still bool, seq int, err error) {
 
 // Latch implements Latchable.
 func (w *Wire[T]) Latch() error {
+	var err error
 	if w.curOK {
 		w.dropped++
 		if w.strict {
-			leftover := w.cur
-			w.cur, w.curOK = w.next, w.nextOK
-			var zero T
-			w.next, w.nextOK = zero, false
-			return fmt.Errorf("sim: wire %q: value %v not consumed before next delivery", w.name, leftover)
+			err = fmt.Errorf("sim: wire %q: value %v not consumed before next delivery", w.name, w.cur)
 		}
 	}
 	w.cur, w.curOK = w.next, w.nextOK
 	var zero T
 	w.next, w.nextOK = zero, false
-	return nil
+	if w.curOK {
+		// The consumer has a value to see next cycle — wake its gate.
+		// Waking at latch time (not Send) puts the wake exactly one
+		// drain before the delivery cycle no matter when during the
+		// cycle the send happened, and re-raises it while an unconsumed
+		// value lingers, mirroring what an always-tick consumer would
+		// observe. Workers latch their shards concurrently, but Wake is
+		// an atomic bit-set, safe from any goroutine.
+		w.waker.Wake()
+	}
+	return err
 }

@@ -94,6 +94,13 @@ type Generator struct {
 	// Generated counts packets created per node.
 	Generated []int64
 
+	// hot lists the nodes with a non-zero injection rate, ascending. The
+	// per-cycle loop iterates it instead of all nodes: a zero-rate node
+	// short-circuits before its Float64 draw, so skipping it entirely
+	// leaves the RNG stream bit-identical — the single-source broadcast
+	// workload then costs one draw per cycle instead of a full node scan.
+	hot []int
+
 	// recycling enables the packet free list: retired packets returned via
 	// Recycle donate their Packet record, flit structs and payload backing
 	// to the next MakePacket, which overwrites every field (payload words
@@ -126,6 +133,12 @@ func NewGenerator(cfg Config, topo topology.Topology) (*Generator, error) {
 		return nil, err
 	}
 	src := rand.NewPCG(uint64(cfg.Seed), pcgStreamTraffic)
+	hot := make([]int, 0, len(cfg.Rates))
+	for n, r := range cfg.Rates {
+		if r > 0 {
+			hot = append(hot, n)
+		}
+	}
 	return &Generator{
 		cfg:       cfg,
 		topo:      topo,
@@ -133,8 +146,13 @@ func NewGenerator(cfg Config, topo topology.Topology) (*Generator, error) {
 		rng:       rand.New(src),
 		words:     flit.PayloadWords(cfg.FlitBits),
 		Generated: make([]int64, topo.Nodes()),
+		hot:       hot,
 	}, nil
 }
+
+// Idle reports whether the generator can never inject (no node has a
+// positive rate), letting the run loop skip generator ticks entirely.
+func (g *Generator) Idle() bool { return len(g.hot) == 0 }
 
 // RNGState returns the generator's PCG stream state, for snapshots.
 func (g *Generator) RNGState() ([]byte, error) { return g.src.MarshalBinary() }
@@ -148,9 +166,8 @@ func (g *Generator) NextID() int64 { return g.nextID }
 // generation does not allocate.
 func (g *Generator) Tick(cycle int64, sample bool) ([]NewPacket, error) {
 	out := g.scratch[:0]
-	for n := 0; n < g.topo.Nodes(); n++ {
-		r := g.cfg.Rates[n]
-		if r <= 0 || g.rng.Float64() >= r {
+	for _, n := range g.hot {
+		if g.rng.Float64() >= g.cfg.Rates[n] {
 			continue
 		}
 		dst, ok := g.cfg.Pattern.Destination(n, g.rng)

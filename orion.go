@@ -248,6 +248,14 @@ type SimConfig struct {
 	// default each point to 1 worker — the sweep already fills all cores
 	// with concurrent points.
 	Workers int `json:"-"`
+	// AlwaysTick disables the active-set scheduler, ticking every module
+	// every cycle as the engine did before activity gating existed. The
+	// gated path is bit-identical — AlwaysTick exists as the reference to
+	// diff against (like ReferenceEventPath), not as a tuning knob. Like
+	// Workers it is an execution detail, excluded from config digests and
+	// snapshot binding, so snapshots resume across the two modes. The
+	// ORION_ALWAYS_TICK environment variable forces it on.
+	AlwaysTick bool `json:"-"`
 }
 
 // DeadlockMode selects how dimension-ordered routing on a torus is kept

@@ -332,6 +332,7 @@ func resolve(cfg Config) (core.Config, error) {
 		Faults:             cfg.Faults.toInternal(),
 		CheckInvariants:    cfg.CheckInvariants.enabled(),
 		Workers:            cfg.Sim.Workers,
+		AlwaysTick:         cfg.Sim.AlwaysTick,
 	}
 	return out, nil
 }

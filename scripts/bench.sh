@@ -16,7 +16,13 @@
 #   scripts/bench.sh [output.json]      # default output: BENCH_hotpath.json
 #   BENCHTIME=5s scripts/bench.sh       # longer, steadier measurement
 #   WORKERS_SWEEP=0 scripts/bench.sh    # skip the worker-count sweep
-#                                       # (pointless on single-core boxes)
+#
+# On a single-CPU box the worker sweep is skipped automatically (set
+# WORKERS_SWEEP=1 to force it): multi-worker benches there measure pure
+# goroutine contention, and a baseline recording Workers4 "slowdowns"
+# from such a box would mislead every later comparison. The JSON records
+# the decision as "scaling" so consumers can tell at a glance whether the
+# file carries meaningful multi-worker numbers.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,12 +31,22 @@ BENCHTIME="${BENCHTIME:-2s}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-WORKERS_SWEEP="${WORKERS_SWEEP:-1}"
+CPUS="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)"
+if [ -z "${WORKERS_SWEEP:-}" ]; then
+    if [ "$CPUS" -le 1 ]; then
+        echo "bench: $CPUS CPU(s) online — skipping the worker-count sweep (WORKERS_SWEEP=1 to force)"
+        WORKERS_SWEEP=0
+    else
+        WORKERS_SWEEP=1
+    fi
+fi
+SCALING=false
+[ "$WORKERS_SWEEP" != "0" ] && SCALING=true
 
 {
     go test ./internal/sim -run '^$' -bench 'BenchmarkBusPublish' -benchtime "$BENCHTIME" -benchmem
     go test ./internal/router -run '^$' -bench 'BenchmarkRouterTick' -benchtime "$BENCHTIME" -benchmem
-    go test . -run '^$' -bench 'BenchmarkFig5VC64$|BenchmarkSimulatorSpeed$|BenchmarkRunNoSnapshot$|BenchmarkRunSnapshotEvery1k$|BenchmarkMesh32VC8Workers1$' -benchtime "$BENCHTIME" -benchmem
+    go test . -run '^$' -bench 'BenchmarkFig5VC64$|BenchmarkFig5VC64LowLoad$|BenchmarkSimulatorSpeed$|BenchmarkRunNoSnapshot$|BenchmarkRunSnapshotEvery1k$|BenchmarkMesh32VC8Workers1$|BenchmarkMesh32VC8LowLoad$|BenchmarkMesh32VC8LowLoadAlwaysTick$' -benchtime "$BENCHTIME" -benchmem
     if [ "$WORKERS_SWEEP" != "0" ]; then
         go test . -run '^$' -bench 'BenchmarkFig5VC64Workers[1248]$|BenchmarkMesh32VC8Workers[248]$' -benchtime "$BENCHTIME" -benchmem
     fi
@@ -39,13 +55,15 @@ WORKERS_SWEEP="${WORKERS_SWEEP:-1}"
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     -v goversion="$(go version | cut -d' ' -f3)" \
     -v benchtime="$BENCHTIME" \
-    -v cpus="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)" '
+    -v cpus="$CPUS" \
+    -v scaling="$SCALING" '
 BEGIN {
     printf "{\n"
     printf "  \"date\": \"%s\",\n", date
     printf "  \"go\": \"%s\",\n", goversion
     printf "  \"benchtime\": \"%s\",\n", benchtime
     printf "  \"cpus\": %d,\n", cpus
+    printf "  \"scaling\": %s,\n", scaling
     printf "  \"benchmarks\": [\n"
     sep = ""
 }

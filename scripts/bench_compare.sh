@@ -16,15 +16,20 @@
 # exactly by TestRouterTickZeroAlloc, TestRunAllocationBudget and
 # TestParallelAllocationBudget):
 #   BenchmarkRouterTickWormhole / VC / CB     router tick hot path
-#   BenchmarkFig5VC64                         full Figure-5 run
+#   BenchmarkFig5VC64 / Fig5VC64LowLoad       full Figure-5 run, both loads
 #   BenchmarkSimulatorSpeed                   end-to-end cycles/sec
 #   BenchmarkRunNoSnapshot / SnapshotEvery1k  checkpointing overhead
 #   BenchmarkMesh32VC8Workers1                1024-node fabric, sequential
+#   BenchmarkMesh32VC8LowLoad                 activity-gated sub-saturation run
 #
 # The multi-worker sweeps (Fig5VC64Workers*, Mesh32VC8Workers[248]) are
 # recorded in the baseline for scaling analysis but not gated: their
 # ns/op depends on the core count of the machine, so comparing them
-# across boxes is noise, not signal.
+# across boxes is noise, not signal. As a backstop, any gate entry
+# matching Workers[2-9] is refused — skipped with a WARNING — when the
+# baseline records a single-CPU box ("cpus" <= 1): a 1-CPU baseline for
+# a parallel bench measures contention, and gating against it would
+# punish the first run on a real multicore machine.
 #
 # Usage:
 #   scripts/bench_compare.sh [baseline.json]   # default: BENCH_hotpath.json
@@ -50,7 +55,7 @@ trap 'rm -f "$RAW"' EXIT
 
 {
     go test ./internal/router -run '^$' -bench 'BenchmarkRouterTick' -benchtime "$BENCHTIME"
-    go test . -run '^$' -bench 'BenchmarkFig5VC64$|BenchmarkSimulatorSpeed$|BenchmarkRunNoSnapshot$|BenchmarkRunSnapshotEvery1k$|BenchmarkMesh32VC8Workers1$' -benchtime "$BENCHTIME"
+    go test . -run '^$' -bench 'BenchmarkFig5VC64$|BenchmarkFig5VC64LowLoad$|BenchmarkSimulatorSpeed$|BenchmarkRunNoSnapshot$|BenchmarkRunSnapshotEvery1k$|BenchmarkMesh32VC8Workers1$|BenchmarkMesh32VC8LowLoad$' -benchtime "$BENCHTIME"
 } | tee "$RAW"
 
 echo
@@ -64,15 +69,20 @@ awk -v tol="$TOL" '
 BEGIN {
     ngate = split("BenchmarkRouterTickWormhole BenchmarkRouterTickVC " \
                   "BenchmarkRouterTickCB BenchmarkFig5VC64 " \
+                  "BenchmarkFig5VC64LowLoad " \
                   "BenchmarkSimulatorSpeed BenchmarkRunNoSnapshot " \
-                  "BenchmarkRunSnapshotEvery1k BenchmarkMesh32VC8Workers1", \
+                  "BenchmarkRunSnapshotEvery1k BenchmarkMesh32VC8Workers1 " \
+                  "BenchmarkMesh32VC8LowLoad", \
                   gatelist, " ")
     for (i = 1; i <= ngate; i++) gate[gatelist[i]] = 1
     fails = 0
     missing = 0
+    basecpus = -1
 }
 # Pass 1: the baseline JSON.
 FNR == NR {
+    if (match($0, /"cpus": [0-9]+/))
+        basecpus = substr($0, RSTART + 8, RLENGTH - 8) + 0
     if (match($0, /"name": "[^"]+"/)) {
         name = substr($0, RSTART + 9, RLENGTH - 10)
         if (match($0, /"ns\/op": [0-9.eE+-]+/))
@@ -92,6 +102,12 @@ END {
     printf "%-34s %14s %14s %9s\n", "benchmark", "baseline ns/op", "current ns/op", "delta"
     for (i = 1; i <= ngate; i++) {
         name = gatelist[i]
+        if (name ~ /Workers[2-9]/ && basecpus >= 0 && basecpus <= 1) {
+            printf "%-34s %14s %14s %9s\n", name, "-", "-", "skipped"
+            printf "WARNING: refusing to gate parallel benchmark %s against a baseline recorded\n", name
+            printf "         on a %d-CPU box — its numbers there measure contention, not speed\n", basecpus
+            continue
+        }
         if (!(name in base)) {
             printf "%-34s %14s %14s %9s\n", name, "-", (name in cur ? sprintf("%.1f", cur[name]) : "-"), "no base"
             continue

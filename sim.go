@@ -213,9 +213,10 @@ func ResumeFile(ctx context.Context, cfg Config, path string) (*Sim, error) {
 // VerifyEventPath is the simulator's divergence self-check: it runs
 // lockstep builds of the configuration — the frozen fast event path and
 // the map-based reference path, plus a sequential-engine oracle whenever
-// the primary build resolved to more than one tick worker — comparing
-// StateHash every `every` cycles until all complete or `maxCycles` is
-// reached. The builds are required to be observably identical; a
+// the primary build resolved to more than one tick worker, plus an
+// always-tick oracle whenever the primary build uses the active-set
+// scheduler — comparing StateHash every `every` cycles until all
+// complete or `maxCycles` is reached. The builds are required to be observably identical; a
 // differing hash fails with a *DivergenceError naming the first differing
 // state section.
 func VerifyEventPath(ctx context.Context, cfg Config, every, maxCycles int64) error {
@@ -240,6 +241,16 @@ func VerifyEventPath(ctx context.Context, cfg Config, every, maxCycles int64) er
 		seqCfg := cfg
 		seqCfg.Sim.Workers = 1
 		if seq, err = NewSim(seqCfg); err != nil {
+			return err
+		}
+	}
+	// An always-tick build checks the active-set scheduler's bit-identity
+	// claim the same way, unless the caller already opted out of gating.
+	var alt *Sim
+	if !cfg.Sim.AlwaysTick {
+		altCfg := cfg
+		altCfg.Sim.AlwaysTick = true
+		if alt, err = NewSim(altCfg); err != nil {
 			return err
 		}
 	}
@@ -281,6 +292,22 @@ func VerifyEventPath(ctx context.Context, cfg Config, every, maxCycles int64) er
 			}
 			if fastDone != seqDone {
 				return &DivergenceError{Cycle: fast.Cycle(), Section: "completion status (parallel vs sequential)"}
+			}
+		}
+		if alt != nil {
+			altDone, err := alt.StepTo(ctx, cycle)
+			if err != nil {
+				return err
+			}
+			c, err := alt.net.CaptureState(nil)
+			if err != nil {
+				return fmt.Errorf("%w: %v", ErrSnapshot, err)
+			}
+			if d := snap.Diff(a, c); d != "" {
+				return &DivergenceError{Cycle: fast.Cycle(), Section: "activity-gated vs always-tick scheduler: " + d}
+			}
+			if fastDone != altDone {
+				return &DivergenceError{Cycle: fast.Cycle(), Section: "completion status (gated vs always-tick)"}
 			}
 		}
 		if fastDone {
